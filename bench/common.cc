@@ -1,0 +1,97 @@
+#include "common.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/log.hh"
+
+namespace chopin::bench
+{
+
+Harness::Harness(std::string description, int default_scale)
+    : cli(description), desc(std::move(description)),
+      default_scale(default_scale)
+{
+    cli.addFlag("scale", std::to_string(default_scale),
+                "trace scale divisor (1 = full Table III size)");
+    cli.addFlag("gpus", "8", "GPU count (where the figure does not sweep it)");
+    cli.addFlag("bench", "all",
+                "benchmark: cod2 cry grid mirror nfs stal ut3 wolf or 'all'");
+    cli.addFlag("csv", "true", "print a CSV block after each table");
+}
+
+void
+Harness::parse(int argc, char **argv)
+{
+    cli.parse(argc, argv);
+    scale_div = static_cast<int>(cli.getInt("scale"));
+    gpu_count = static_cast<unsigned>(cli.getInt("gpus"));
+    std::string bench = cli.getString("bench");
+    if (bench == "all") {
+        for (const BenchmarkProfile &p : allBenchmarkProfiles())
+            benches.push_back(p.name);
+    } else {
+        benchmarkProfile(bench); // validates the name
+        benches.push_back(bench);
+    }
+    std::cout << "# " << desc << "\n# scale divisor: " << scale_div
+              << (scale_div == 1 ? " (full Table III trace sizes)" : "")
+              << "\n\n";
+}
+
+const FrameTrace &
+Harness::trace(const std::string &bench)
+{
+    auto it = traces.find(bench);
+    if (it == traces.end())
+        it = traces.emplace(bench, generateBenchmark(bench, scale_div))
+                 .first;
+    return it->second;
+}
+
+const FrameResult &
+Harness::run(Scheme scheme, const std::string &bench,
+             const SystemConfig &cfg)
+{
+    std::ostringstream key;
+    key << bench << "/" << toString(scheme) << "/" << cfg.num_gpus << "/"
+        << cfg.link.bytes_per_cycle << "/" << cfg.link.latency << "/"
+        << cfg.group_threshold << "/" << cfg.sched_update_tris << "/"
+        << cfg.cull_retention << "/" << toString(cfg.comp_payload);
+    auto it = results.find(key.str());
+    if (it == results.end())
+        it = results.emplace(key.str(), runScheme(scheme, cfg, trace(bench)))
+                 .first;
+    return it->second;
+}
+
+void
+Harness::emit(const TextTable &table) const
+{
+    table.print(std::cout);
+    if (cli.getBool("csv")) {
+        std::cout << "\ncsv:\n";
+        table.printCsv(std::cout);
+    }
+    std::cout << "\n";
+}
+
+double
+gmean(const std::vector<double> &values)
+{
+    chopin_assert(!values.empty());
+    double log_sum = 0.0;
+    for (double v : values) {
+        chopin_assert(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string
+percent(double ratio)
+{
+    return formatDouble(ratio * 100.0, 1) + "%";
+}
+
+} // namespace chopin::bench

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure benchmark harnesses.
+ *
+ * Every harness accepts:
+ *   --scale=N   trace scale divisor (1 = the paper's full Table III sizes;
+ *               scaled traces are proportional miniatures, see
+ *               trace/profile.hh, so relative results are preserved)
+ *   --gpus=N    GPU count where the figure does not sweep it
+ *   --bench=X   restrict to one benchmark (default: all eight)
+ *   --csv=B     also print a machine-readable CSV block (default true)
+ */
+
+#ifndef CHOPIN_BENCH_COMMON_HH
+#define CHOPIN_BENCH_COMMON_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/chopin.hh"
+
+namespace chopin::bench
+{
+
+/** Parsed common options plus the underlying CommandLine. */
+class Harness
+{
+  public:
+    /**
+     * @param description one-line description printed as the header
+     * @param default_scale default trace scale divisor for this figure
+     */
+    Harness(std::string description, int default_scale);
+
+    /** Register an extra flag before parse(). */
+    void addFlag(const std::string &name, const std::string &def,
+                 const std::string &help)
+    {
+        cli.addFlag(name, def, help);
+    }
+
+    void parse(int argc, char **argv);
+
+    int scale() const { return scale_div; }
+    unsigned gpus() const { return gpu_count; }
+    const std::vector<std::string> &benchmarks() const { return benches; }
+    const CommandLine &flags() const { return cli; }
+
+    /** Generate (and cache) the trace for @p bench at the run's scale. */
+    const FrameTrace &trace(const std::string &bench);
+
+    /** Run (and cache) a scheme on a benchmark with this config. */
+    const FrameResult &run(Scheme scheme, const std::string &bench,
+                           const SystemConfig &cfg);
+
+    /** Print the table, then its CSV block if --csv. */
+    void emit(const TextTable &table) const;
+
+  private:
+    CommandLine cli;
+    std::string desc;
+    int default_scale;
+    int scale_div = 1;
+    unsigned gpu_count = 8;
+    std::vector<std::string> benches;
+    std::map<std::string, FrameTrace> traces;
+    std::map<std::string, FrameResult> results;
+};
+
+/** Geometric mean of a non-empty vector of positive ratios. */
+double gmean(const std::vector<double> &values);
+
+/** A percentage string with one decimal, e.g. "23.4%". */
+std::string percent(double ratio);
+
+} // namespace chopin::bench
+
+#endif // CHOPIN_BENCH_COMMON_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the hot kernels of the
+ * simulator: rasterization, composition operators, the event queue, the
+ * interconnect model and trace generation. These are engineering
+ * benchmarks for the library itself, not paper figures.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "comp/operators.hh"
+#include "gfx/raster.hh"
+#include "gfx/renderer.hh"
+#include "net/interconnect.hh"
+#include "sim/event_queue.hh"
+#include "trace/generator.hh"
+#include "util/rng.hh"
+
+namespace chopin
+{
+namespace
+{
+
+void
+BM_RasterizeTriangle(benchmark::State &state)
+{
+    Viewport vp{1024, 1024};
+    float size = static_cast<float>(state.range(0));
+    ScreenTriangle tri;
+    tri.v[0] = {{100, 100}, 0.5f, {1, 0, 0, 1}};
+    tri.v[1] = {{100 + size, 100}, 0.5f, {0, 1, 0, 1}};
+    tri.v[2] = {{100, 100 + size}, 0.5f, {0, 0, 1, 1}};
+    std::uint64_t frags = 0;
+    for (auto _ : state) {
+        rasterizeTriangle(tri, vp, [&](const Fragment &f) {
+            benchmark::DoNotOptimize(f.z);
+            ++frags;
+        });
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(frags));
+}
+BENCHMARK(BM_RasterizeTriangle)->Arg(4)->Arg(32)->Arg(256);
+
+void
+BM_SurfaceFragmentOps(benchmark::State &state)
+{
+    Surface surface(256, 256);
+    RasterState rs;
+    DrawStats stats;
+    Rng rng(1);
+    std::vector<Fragment> frags(4096);
+    for (Fragment &f : frags)
+        f = {static_cast<int>(rng.nextBounded(256)),
+             static_cast<int>(rng.nextBounded(256)), rng.nextFloat(),
+             {rng.nextFloat(), rng.nextFloat(), rng.nextFloat(), 1.0f}};
+    for (auto _ : state) {
+        for (const Fragment &f : frags)
+            surface.applyFragment(f, rs, 1, 0.5f, stats);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(frags.size()));
+}
+BENCHMARK(BM_SurfaceFragmentOps);
+
+void
+BM_OpaqueCompose(benchmark::State &state)
+{
+    Rng rng(2);
+    std::vector<OpaquePixel> pixels(4096);
+    for (std::size_t i = 0; i < pixels.size(); ++i)
+        pixels[i] = {{rng.nextFloat(), rng.nextFloat(), rng.nextFloat(), 1},
+                     rng.nextFloat(),
+                     static_cast<DrawId>(i)};
+    for (auto _ : state) {
+        OpaquePixel acc;
+        for (const OpaquePixel &p : pixels)
+            acc = composeOpaque(DepthFunc::LessEqual, p, acc);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(pixels.size()));
+}
+BENCHMARK(BM_OpaqueCompose);
+
+void
+BM_TransparentMerge(benchmark::State &state)
+{
+    Rng rng(3);
+    std::vector<Color> layers(4096);
+    for (Color &c : layers)
+        c = {rng.nextFloat(), rng.nextFloat(), rng.nextFloat(),
+             rng.nextFloat()};
+    for (auto _ : state) {
+        Color acc = transparentIdentity(BlendOp::Over);
+        for (const Color &c : layers)
+            acc = mergeTransparent(BlendOp::Over, acc, c);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(layers.size()));
+}
+BENCHMARK(BM_TransparentMerge);
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int fired = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<Tick>((i * 7919) % 4096),
+                        [&fired] { ++fired; });
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            1024);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_InterconnectTransfer(benchmark::State &state)
+{
+    Interconnect net(8, LinkParams{});
+    Rng rng(4);
+    Tick t = 0;
+    for (auto _ : state) {
+        GpuId src = rng.nextBounded(8);
+        GpuId dst = (src + 1 + rng.nextBounded(7)) % 8;
+        t = net.transfer(src, dst, 4096, t, TrafficClass::Composition);
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InterconnectTransfer);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        FrameTrace t = generateBenchmark("wolf", 16);
+        benchmark::DoNotOptimize(t.draws.size());
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+} // namespace chopin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table III: the benchmark suite. Regenerates every trace and reports its
+ * measured statistics next to the paper's published values (they must match
+ * exactly at scale 1; a unit test enforces this too).
+ */
+
+#include "common.hh"
+
+#include "sfr/grouping.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace chopin;
+    using namespace chopin::bench;
+
+    Harness h("Table III: benchmarks used for evaluation", 1);
+    h.parse(argc, argv);
+
+    TextTable table({"benchmark", "abbr", "resolution", "# draws",
+                     "# triangles", "transparent draws", "comp groups"});
+    for (const std::string &name : h.benchmarks()) {
+        const FrameTrace &t = h.trace(name);
+        auto groups = formGroups(t);
+        table.addRow({t.full_name, t.name,
+                      std::to_string(t.viewport.width) + "x" +
+                          std::to_string(t.viewport.height),
+                      std::to_string(t.draws.size()),
+                      std::to_string(t.totalTriangles()),
+                      std::to_string(t.transparentDraws()),
+                      std::to_string(groups.size())});
+    }
+    h.emit(table);
+    return 0;
+}

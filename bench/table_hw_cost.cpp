@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Section VI-F: hardware cost of the two schedulers. The draw-command
+ * scheduler keeps two 64-bit triangle counters per GPU (128 B at 8 GPUs);
+ * the image-composition scheduler keeps, per GPU, a 1-byte group id, three
+ * single-bit flags, and two N-bit vectors (27 B at 8 GPUs).
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace chopin;
+    using namespace chopin::bench;
+
+    Harness h("Scheduler hardware cost (Section VI-F)", 1);
+    h.parse(argc, argv);
+
+    TextTable table({"gpus", "draw-sched bytes", "comp-sched bits/entry",
+                     "comp-sched bytes"});
+    for (unsigned n : {2u, 4u, 8u, 16u, 32u}) {
+        // Draw scheduler: per GPU, scheduled + processed triangle counters,
+        // 64 bits each (conservative, covers billion-triangle frames).
+        unsigned draw_bytes = n * 2 * 8;
+        // Composition scheduler per entry: CGID (8b) + Ready/Receiving/
+        // Sending (3b) + SentGPUs (N bits) + ReceivedGPUs (N bits).
+        unsigned bits_per_entry = 8 + 3 + 2 * n;
+        unsigned comp_bytes = (n * bits_per_entry + 7) / 8;
+        table.addRow({std::to_string(n), std::to_string(draw_bytes),
+                      std::to_string(bits_per_entry),
+                      std::to_string(comp_bytes)});
+    }
+    h.emit(table);
+    std::cout << "(paper, 8 GPUs: 128 bytes draw scheduler, 27 bytes "
+                 "composition scheduler)\n";
+    return 0;
+}

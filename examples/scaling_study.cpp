@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Multi-GPU scaling study: how each SFR scheme's frame time scales from
+ * 1 to 16 GPUs on one benchmark — the scalability argument of the paper's
+ * Fig. 19 viewed as absolute speedup over a single GPU.
+ *
+ * Run: ./scaling_study [--bench=ut3] [--scale=4]
+ */
+
+#include <iostream>
+
+#include "core/chopin.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace chopin;
+
+    CommandLine cli("CHOPIN multi-GPU scaling study");
+    cli.addFlag("bench", "ut3", "benchmark trace");
+    cli.addFlag("scale", "4", "trace scale divisor");
+    cli.parse(argc, argv);
+
+    FrameTrace trace = generateBenchmark(
+        cli.getString("bench"), static_cast<int>(cli.getInt("scale")));
+    SystemConfig base;
+    FrameResult single = runSingleGpu(base, trace);
+
+    std::cout << "trace '" << trace.name << "': " << trace.draws.size()
+              << " draws, " << trace.totalTriangles()
+              << " triangles; single GPU = " << single.cycles
+              << " cycles\n\n";
+
+    TextTable table({"gpus", "Duplication", "GPUpd", "CHOPIN+CompSched",
+                     "IdealCHOPIN"});
+    const Scheme schemes[] = {Scheme::Duplication, Scheme::Gpupd,
+                              Scheme::ChopinCompSched, Scheme::ChopinIdeal};
+    for (unsigned gpus : {1u, 2u, 4u, 8u, 16u}) {
+        std::vector<std::string> row{std::to_string(gpus)};
+        for (Scheme s : schemes) {
+            SystemConfig cfg;
+            cfg.num_gpus = gpus;
+            FrameResult r = runScheme(s, cfg, trace);
+            row.push_back(formatDouble(speedupOver(single, r), 2) + "x");
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\nSpeedups are over the single-GPU pipeline. Duplication "
+                 "and GPUpd flatten as GPU count\ngrows (redundant geometry "
+                 "/ sequential distribution); CHOPIN keeps scaling because "
+                 "its\nimage composition parallelizes with the GPU count "
+                 "(Section VI-E).\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reference parallel image-composition algorithms (Section II-D): the
+ * direct-send family and binary-swap. These are the published building
+ * blocks CHOPIN is contrasted against; they are provided as a standalone,
+ * simulator-independent library (IceT-style), are exercised by the property
+ * test-suites, and give the traffic baselines quoted in the paper's related
+ * work discussion.
+ *
+ * All algorithms are functional (they compute the composed image and count
+ * the bytes each scheme would move); transfer *timing* is the simulator's
+ * job.
+ */
+
+#ifndef CHOPIN_COMP_ALGORITHMS_HH
+#define CHOPIN_COMP_ALGORITHMS_HH
+
+#include <span>
+#include <vector>
+
+#include "comp/depth_image.hh"
+
+namespace chopin
+{
+
+/** Per-algorithm traffic accounting. */
+struct CompositionTraffic
+{
+    Bytes total_bytes = 0;          ///< sum over all transfers
+    Bytes max_link_bytes = 0;       ///< heaviest single src->dst transfer
+    std::uint32_t transfers = 0;    ///< number of point-to-point messages
+};
+
+/** Bytes per exchanged pixel (RGBA8 color + 32-bit depth, as in the paper). */
+inline constexpr Bytes bytesPerOpaquePixel = 8;
+
+/**
+ * Compose @p subs by sending every sub-image to a single collector
+ * (rank 0) — the serial-sink scheme WireGL/Chromium-style sort-last systems
+ * use, quoted by the paper as a bottleneck.
+ */
+DepthImage composeSerialSink(std::span<const DepthImage> subs, DepthFunc func,
+                             CompositionTraffic *traffic = nullptr);
+
+/**
+ * Direct-send: the screen is split into one region per rank; every rank
+ * sends each region to its owner, all pairs in parallel. Region r of the
+ * result is composed at rank r; the returned image is the gathered result.
+ */
+DepthImage composeDirectSend(std::span<const DepthImage> subs, DepthFunc func,
+                             CompositionTraffic *traffic = nullptr);
+
+/**
+ * Binary-swap: log2(n) rounds of pairwise half-image exchanges; requires a
+ * power-of-two number of sub-images.
+ */
+DepthImage composeBinarySwap(std::span<const DepthImage> subs, DepthFunc func,
+                             CompositionTraffic *traffic = nullptr);
+
+/**
+ * Radix-k (Peterka et al., SC'09, cited by the paper): the rank count is
+ * factored as k1*k2*...*km; round i runs direct-send inside groups of k_i
+ * ranks over each group's current band, multiplying the partitioning by
+ * k_i. Radix-k with all factors 2 is binary-swap; a single factor n is
+ * direct-send. The factorization trades message count against round count.
+ *
+ * @param factors factorization of subs.size(); their product must equal it.
+ */
+DepthImage composeRadixK(std::span<const DepthImage> subs, DepthFunc func,
+                         std::span<const unsigned> factors,
+                         CompositionTraffic *traffic = nullptr);
+
+/**
+ * Sequentially merge transparent layers (layer 0 = farthest / first drawn)
+ * with @p op, using the given bracketing: if @p split is in (0, n), layers
+ * [0, split) and [split, n) are merged independently first — the
+ * associativity property the paper exploits. split == 0 means plain
+ * left-to-right reduction.
+ */
+Image composeTransparentLayers(std::span<const Image> layers, BlendOp op,
+                               std::size_t split = 0);
+
+} // namespace chopin
+
+#endif // CHOPIN_COMP_ALGORITHMS_HH

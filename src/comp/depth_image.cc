@@ -1,0 +1,29 @@
+#include "comp/depth_image.hh"
+
+namespace chopin
+{
+
+DepthImage::DepthImage(int w, int h, const Color &fill, float z)
+    : color(w, h, fill),
+      depth(static_cast<std::size_t>(w) * h, z),
+      writer(static_cast<std::size_t>(w) * h, ~DrawId(0))
+{
+}
+
+OpaquePixel
+DepthImage::at(int x, int y) const
+{
+    std::size_t i = static_cast<std::size_t>(y) * width() + x;
+    return {color.at(x, y), depth[i], writer[i]};
+}
+
+void
+DepthImage::set(int x, int y, const OpaquePixel &p)
+{
+    std::size_t i = static_cast<std::size_t>(y) * width() + x;
+    color.at(x, y) = p.color;
+    depth[i] = p.depth;
+    writer[i] = p.writer;
+}
+
+} // namespace chopin

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * A full-screen opaque sub-image: per-pixel color, depth, and writer id.
+ * This is the unit the standalone composition algorithms operate on; the
+ * multi-GPU simulator uses gfx::Surface directly but shares the pixel
+ * operators.
+ */
+
+#ifndef CHOPIN_COMP_DEPTH_IMAGE_HH
+#define CHOPIN_COMP_DEPTH_IMAGE_HH
+
+#include <vector>
+
+#include "comp/operators.hh"
+#include "util/image.hh"
+
+namespace chopin
+{
+
+/** Color + depth + writer image for opaque composition. */
+struct DepthImage
+{
+    DepthImage() = default;
+    DepthImage(int w, int h, const Color &fill = Color(), float z = 1.0f);
+
+    int width() const { return color.width(); }
+    int height() const { return color.height(); }
+
+    OpaquePixel at(int x, int y) const;
+    void set(int x, int y, const OpaquePixel &p);
+
+    Image color;
+    std::vector<float> depth;
+    std::vector<DrawId> writer;
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_COMP_DEPTH_IMAGE_HH

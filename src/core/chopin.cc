@@ -1,0 +1,31 @@
+#include "core/chopin.hh"
+
+#include "util/log.hh"
+
+namespace chopin
+{
+
+std::vector<FrameResult>
+runMainComparison(const SystemConfig &cfg, const FrameTrace &trace)
+{
+    static const Scheme schemes[] = {
+        Scheme::Duplication,     Scheme::Gpupd,
+        Scheme::GpupdIdeal,      Scheme::Chopin,
+        Scheme::ChopinCompSched, Scheme::ChopinIdeal,
+    };
+    std::vector<FrameResult> results;
+    results.reserve(std::size(schemes));
+    for (Scheme s : schemes)
+        results.push_back(runScheme(s, cfg, trace));
+    return results;
+}
+
+double
+speedupOver(const FrameResult &baseline, const FrameResult &result)
+{
+    chopin_assert(result.cycles > 0);
+    return static_cast<double>(baseline.cycles) /
+           static_cast<double>(result.cycles);
+}
+
+} // namespace chopin

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Geometry-stage data types and processing: object-space vertices are
+ * transformed by a model-view-projection matrix, clipped against the near
+ * plane, back-face culled, and mapped to the 2D screen (Fig. 1(b), stage 1
+ * of the paper's pipeline).
+ */
+
+#ifndef CHOPIN_GFX_GEOMETRY_HH
+#define CHOPIN_GFX_GEOMETRY_HH
+
+#include <vector>
+
+#include "gfx/state.hh"
+#include "util/color.hh"
+#include "util/vec.hh"
+
+namespace chopin
+{
+
+/** Object-space vertex. */
+struct Vertex
+{
+    Vec3 pos;
+    Color color;
+};
+
+/** Object-space triangle (a primitive). */
+struct Triangle
+{
+    Vertex v[3];
+};
+
+/** Screen-space vertex after projection and viewport transform. */
+struct ScreenVertex
+{
+    Vec2 pos;    ///< pixel coordinates (origin top-left)
+    float z = 0; ///< depth in [0, 1] after viewport transform
+    Color color;
+};
+
+/** Screen-space triangle ready for rasterization. */
+struct ScreenTriangle
+{
+    ScreenVertex v[3];
+
+    /** Inclusive integer pixel bounding box, clamped to the viewport. */
+    void boundingBox(int width, int height, int &x0, int &y0, int &x1,
+                     int &y1) const;
+};
+
+/** Viewport description. */
+struct Viewport
+{
+    int width = 0;
+    int height = 0;
+};
+
+/**
+ * Geometry processing for one primitive.
+ *
+ * @param tri       object-space triangle
+ * @param mvp       combined model-view-projection matrix
+ * @param vp        target viewport
+ * @param backface_cull drop clockwise (in screen space) triangles
+ * @param[out] out  zero, one or two screen triangles (near-plane clipping
+ *                  of a triangle with one vertex behind the plane yields two)
+ * @param[in,out] stats clip/cull counters are updated
+ */
+void processPrimitive(const Triangle &tri, const Mat4 &mvp,
+                      const Viewport &vp, bool backface_cull,
+                      std::vector<ScreenTriangle> &out, DrawStats &stats);
+
+/**
+ * Approximate screen coverage (in pixels) of a screen triangle; used by the
+ * timing model and by GPUpd's projection phase.
+ */
+double screenArea(const ScreenTriangle &tri);
+
+/**
+ * Twice the signed screen-space area; positive for front-facing triangles
+ * (screen space is y-down, winding already accounted for).
+ */
+float signedScreenArea2(const ScreenTriangle &tri);
+
+} // namespace chopin
+
+#endif // CHOPIN_GFX_GEOMETRY_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Screen-space triangle rasterization (Fig. 1(b), stage 2).
+ *
+ * Edge-function rasterization with the standard top-left fill convention so
+ * that abutting triangles cover every pixel exactly once. The same code
+ * rasterizes for every SFR scheme, which is what makes the cross-scheme
+ * image-equality oracle meaningful: schemes may only differ in *which* GPU
+ * rasterizes a triangle and how fragments are merged, never in coverage.
+ */
+
+#ifndef CHOPIN_GFX_RASTER_HH
+#define CHOPIN_GFX_RASTER_HH
+
+#include <functional>
+
+#include "gfx/geometry.hh"
+
+namespace chopin
+{
+
+/** A rasterized fragment prior to depth test and shading. */
+struct Fragment
+{
+    int x = 0;
+    int y = 0;
+    float z = 0.0f;
+    Color color;
+};
+
+/** Receives each covered fragment; return value is unused. */
+using FragmentSink = std::function<void(const Fragment &)>;
+
+/**
+ * Rasterize @p tri into @p vp, invoking @p sink for every covered pixel
+ * whose center passes the top-left rule. Attribute interpolation is affine
+ * (screen-space barycentric), matching early-2000s fixed-function hardware.
+ *
+ * Triangles of either winding are filled (the caller performs backface
+ * culling during geometry processing).
+ */
+void rasterizeTriangle(const ScreenTriangle &tri, const Viewport &vp,
+                       const FragmentSink &sink);
+
+/**
+ * Count the pixels @p tri covers without emitting fragments (used by timing
+ * estimates and by GPUpd's projection phase).
+ */
+std::uint64_t countCoverage(const ScreenTriangle &tri, const Viewport &vp);
+
+} // namespace chopin
+
+#endif // CHOPIN_GFX_RASTER_HH

@@ -1,0 +1,59 @@
+#include "gfx/renderer.hh"
+
+#include "util/log.hh"
+
+namespace chopin
+{
+
+DrawStats
+renderDraw(Surface &surface, const Viewport &vp, const DrawInput &in,
+           const RenderFilter &filter, std::vector<std::uint8_t> *touched_tiles,
+           const TileGrid *grid)
+{
+    chopin_assert(surface.width() == vp.width &&
+                  surface.height() == vp.height);
+    chopin_assert(touched_tiles == nullptr || grid != nullptr,
+                  "touched-tile tracking needs a tile grid");
+
+    DrawStats stats;
+    std::vector<ScreenTriangle> screen_tris;
+    screen_tris.reserve(2);
+
+    for (const Triangle &tri : in.triangles) {
+        screen_tris.clear();
+        processPrimitive(tri, in.mvp, vp, in.backface_cull, screen_tris,
+                         stats);
+        for (const ScreenTriangle &st : screen_tris) {
+            if (!filter.mayTouch(st)) {
+                // The raster engine rejects the whole primitive against this
+                // GPU's tile set without fine rasterization.
+                stats.tris_rasterized -= 1;
+                stats.tris_coarse_rejected += 1;
+                continue;
+            }
+            rasterizeTriangle(st, vp, [&](const Fragment &frag) {
+                if (!filter.owns(frag.x, frag.y))
+                    return;
+                Fragment shaded = frag;
+                if (in.texture != nullptr) {
+                    // Screen-space sample: modulate with the texel under
+                    // the fragment (bloom/post-processing pattern).
+                    shaded.color =
+                        shaded.color * in.texture->at(frag.x, frag.y);
+                    stats.frags_textured += 1;
+                }
+                std::uint64_t written_before = stats.frags_written;
+                surface.applyFragment(shaded, in.state, in.draw_id,
+                                      in.alpha_ref, stats);
+                if (touched_tiles != nullptr &&
+                    stats.frags_written != written_before) {
+                    (*touched_tiles)[grid->tileIndexOfPixel(frag.x, frag.y)] =
+                        1;
+                }
+            });
+        }
+    }
+    return stats;
+}
+
+} // namespace chopin

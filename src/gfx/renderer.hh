@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The functional renderer: geometry processing + rasterization + fragment
+ * operations for one draw command on one surface.
+ *
+ * Every SFR scheme funnels through this code; schemes only choose which GPU
+ * executes a draw, which pixels that GPU keeps (the @ref RenderFilter), and
+ * how the resulting surfaces are merged.
+ */
+
+#ifndef CHOPIN_GFX_RENDERER_HH
+#define CHOPIN_GFX_RENDERER_HH
+
+#include <span>
+#include <vector>
+
+#include "gfx/geometry.hh"
+#include "gfx/surface.hh"
+#include "gfx/tiles.hh"
+
+namespace chopin
+{
+
+/**
+ * Restricts rasterization to the screen tiles owned by one GPU.
+ * A default-constructed filter accepts every pixel (used for CHOPIN
+ * sub-image rendering, where each GPU renders its draws full-screen).
+ */
+struct RenderFilter
+{
+    const TileGrid *grid = nullptr;
+    GpuId gpu = invalidGpu;
+
+    bool
+    owns(int x, int y) const
+    {
+        return grid == nullptr || grid->ownerOfPixel(x, y) == gpu;
+    }
+
+    /**
+     * Coarse raster reject: can the triangle's bounding box touch any tile
+     * this GPU owns? Unfiltered rendering always answers yes.
+     */
+    bool
+    mayTouch(const ScreenTriangle &tri) const
+    {
+        if (grid == nullptr)
+            return true;
+        return (grid->overlappedGpus(tri) >> gpu) & 1ULL;
+    }
+};
+
+/** Inputs of one draw call at the renderer level. */
+struct DrawInput
+{
+    std::span<const Triangle> triangles; ///< object-space primitives
+    Mat4 mvp;                            ///< model-view-projection
+    RasterState state;
+    DrawId draw_id = 0;
+    float alpha_ref = 0.5f; ///< alpha-test threshold when shader_discard
+    bool backface_cull = true;
+    /** Texture sampled at the fragment's screen position (may be null).
+     *  Must match the viewport dimensions. */
+    const Image *texture = nullptr;
+};
+
+/**
+ * Render one draw command into @p surface.
+ *
+ * @param touched_tiles optional per-tile flags (indexed by @p grid linear
+ *        tile index) set for every tile that receives a written fragment —
+ *        used to size CHOPIN's composition traffic.
+ * @param grid tile grid used for @p touched_tiles indexing (may be null if
+ *        touched_tiles is null).
+ * @return functional statistics for the timing model.
+ */
+DrawStats renderDraw(Surface &surface, const Viewport &vp,
+                     const DrawInput &in, const RenderFilter &filter = {},
+                     std::vector<std::uint8_t> *touched_tiles = nullptr,
+                     const TileGrid *grid = nullptr);
+
+} // namespace chopin
+
+#endif // CHOPIN_GFX_RENDERER_HH

@@ -1,0 +1,67 @@
+#include "gfx/state.hh"
+
+namespace chopin
+{
+
+std::string
+toString(DepthFunc func)
+{
+    switch (func) {
+      case DepthFunc::Never:        return "never";
+      case DepthFunc::Less:         return "less";
+      case DepthFunc::Equal:        return "equal";
+      case DepthFunc::LessEqual:    return "lequal";
+      case DepthFunc::Greater:      return "greater";
+      case DepthFunc::NotEqual:     return "notequal";
+      case DepthFunc::GreaterEqual: return "gequal";
+      case DepthFunc::Always:       return "always";
+    }
+    return "?";
+}
+
+std::string
+toString(BlendOp op)
+{
+    switch (op) {
+      case BlendOp::Opaque:   return "opaque";
+      case BlendOp::Over:     return "over";
+      case BlendOp::Additive: return "additive";
+      case BlendOp::Multiply: return "multiply";
+    }
+    return "?";
+}
+
+std::string
+toString(StencilOp op)
+{
+    switch (op) {
+      case StencilOp::Keep:      return "keep";
+      case StencilOp::Replace:   return "replace";
+      case StencilOp::Increment: return "incr";
+      case StencilOp::Decrement: return "decr";
+      case StencilOp::Zero:      return "zero";
+    }
+    return "?";
+}
+
+DrawStats &
+DrawStats::operator+=(const DrawStats &o)
+{
+    verts_shaded += o.verts_shaded;
+    tris_in += o.tris_in;
+    tris_clipped += o.tris_clipped;
+    tris_culled += o.tris_culled;
+    tris_rasterized += o.tris_rasterized;
+    tris_coarse_rejected += o.tris_coarse_rejected;
+    frags_generated += o.frags_generated;
+    frags_early_pass += o.frags_early_pass;
+    frags_early_fail += o.frags_early_fail;
+    frags_late_pass += o.frags_late_pass;
+    frags_late_fail += o.frags_late_fail;
+    frags_shaded += o.frags_shaded;
+    frags_textured += o.frags_textured;
+    frags_written += o.frags_written;
+    return *this;
+}
+
+} // namespace chopin

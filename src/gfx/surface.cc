@@ -1,0 +1,105 @@
+#include "gfx/surface.hh"
+
+namespace chopin
+{
+
+Surface::Surface(int w, int h)
+    : img(w, h),
+      depth(static_cast<std::size_t>(w) * h, 1.0f),
+      lastWriter(static_cast<std::size_t>(w) * h, noWriter),
+      written(static_cast<std::size_t>(w) * h, 0),
+      stencil(static_cast<std::size_t>(w) * h, 0)
+{
+}
+
+void
+Surface::clear(const Color &c, float z)
+{
+    img.clear(c);
+    std::fill(depth.begin(), depth.end(), z);
+    std::fill(lastWriter.begin(), lastWriter.end(), noWriter);
+    std::fill(written.begin(), written.end(), 0);
+    std::fill(stencil.begin(), stencil.end(), 0);
+}
+
+Color
+blendPixel(BlendOp op, const Color &src, const Color &dst)
+{
+    switch (op) {
+      case BlendOp::Opaque:
+        return {src.r, src.g, src.b, 1.0f};
+      case BlendOp::Over: {
+        // Source-over with straight source alpha onto an already-composited
+        // destination: out = src * a + dst * (1 - a). The destination alpha
+        // accumulates coverage.
+        float a = src.a;
+        return {src.r * a + dst.r * (1.0f - a),
+                src.g * a + dst.g * (1.0f - a),
+                src.b * a + dst.b * (1.0f - a),
+                a + dst.a * (1.0f - a)};
+      }
+      case BlendOp::Additive:
+        return {dst.r + src.r * src.a, dst.g + src.g * src.a,
+                dst.b + src.b * src.a, dst.a};
+      case BlendOp::Multiply:
+        return {dst.r * src.r, dst.g * src.g, dst.b * src.b, dst.a};
+    }
+    return dst;
+}
+
+void
+Surface::applyFragment(const Fragment &frag, const RasterState &state,
+                       DrawId draw, float alpha_ref, DrawStats &stats)
+{
+    stats.frags_generated += 1;
+    std::size_t i = idx(frag.x, frag.y);
+
+    // The joint depth/stencil test: stencil first, then depth (GL order).
+    // Failing fragments leave the stencil value unchanged (keep-on-fail).
+    auto depth_stencil_pass = [&]() {
+        if (state.stencil_test &&
+            !stencilCompare(state.stencil_func, state.stencil_ref,
+                            stencil[i]))
+            return false;
+        if (state.depth_test &&
+            !depthTest(state.depth_func, frag.z, depth[i]))
+            return false;
+        return true;
+    };
+
+    bool any_test = state.depth_test || state.stencil_test;
+    bool early = any_test && !state.shader_discard;
+    if (early) {
+        if (!depth_stencil_pass()) {
+            stats.frags_early_fail += 1;
+            return;
+        }
+        stats.frags_early_pass += 1;
+    }
+
+    // Pixel shading (the cost is accounted by the timing model via this
+    // counter; functionally the interpolated color is the shader output).
+    stats.frags_shaded += 1;
+    if (state.shader_discard && frag.color.a < alpha_ref)
+        return; // alpha-test discard
+
+    if (!early && any_test) {
+        if (!depth_stencil_pass()) {
+            stats.frags_late_fail += 1;
+            return;
+        }
+        stats.frags_late_pass += 1;
+    }
+
+    img.data()[i] = blendPixel(state.blend_op, frag.color, img.data()[i]);
+    if (state.depth_test && state.depth_write)
+        depth[i] = frag.z;
+    if (state.stencil_test)
+        stencil[i] = applyStencilOp(state.stencil_pass_op, stencil[i],
+                                    state.stencil_ref);
+    lastWriter[i] = draw;
+    written[i] = 1;
+    stats.frags_written += 1;
+}
+
+} // namespace chopin

@@ -1,0 +1,63 @@
+#include "gfx/tiles.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace chopin
+{
+
+TileGrid::TileGrid(int width, int height, unsigned num_gpus, int tile_size,
+                   TileAssignment assignment)
+    : w(width), h(height), tile(tile_size), gpus(num_gpus),
+      policy(assignment)
+{
+    chopin_assert(width > 0 && height > 0 && num_gpus > 0 && tile_size > 0);
+    tx = (width + tile - 1) / tile;
+    ty = (height + tile - 1) / tile;
+}
+
+int
+TileGrid::pixelsInTile(int tile_index) const
+{
+    int tile_x = tile_index % tx;
+    int tile_y = tile_index / tx;
+    int px = std::min(tile, w - tile_x * tile);
+    int py = std::min(tile, h - tile_y * tile);
+    return px * py;
+}
+
+std::uint64_t
+TileGrid::overlappedGpus(const ScreenTriangle &tri) const
+{
+    std::uint64_t mask = 0;
+    std::uint64_t all = gpus >= 64 ? ~0ULL : ((1ULL << gpus) - 1);
+    int x0, y0, x1, y1;
+    tri.boundingBox(w, h, x0, y0, x1, y1);
+    if (x0 > x1 || y0 > y1)
+        return 0;
+    for (int tyi = y0 / tile; tyi <= y1 / tile; ++tyi) {
+        for (int txi = x0 / tile; txi <= x1 / tile; ++txi) {
+            mask |= 1ULL << ownerOfTile(txi, tyi);
+            if (mask == all)
+                return mask; // every GPU already covered
+        }
+    }
+    return mask;
+}
+
+void
+TileGrid::overlappedTiles(const ScreenTriangle &tri,
+                          std::vector<int> &out) const
+{
+    out.clear();
+    int x0, y0, x1, y1;
+    tri.boundingBox(w, h, x0, y0, x1, y1);
+    if (x0 > x1 || y0 > y1)
+        return;
+    for (int tyi = y0 / tile; tyi <= y1 / tile; ++tyi)
+        for (int txi = x0 / tile; txi <= x1 / tile; ++txi)
+            out.push_back(tyi * tx + txi);
+}
+
+} // namespace chopin

@@ -1,0 +1,104 @@
+#include "gpu/pipeline.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace chopin
+{
+
+GpuPipeline::GpuPipeline(const TimingParams &params) : params(params)
+{
+}
+
+Tick
+GpuPipeline::submitDraw(DrawId id, const DrawStats &stats, Tick issue_time)
+{
+    // Split the draw into batches of batch_tris input triangles so that
+    // geometry, raster and fragment work of one draw overlap in the
+    // pipeline. Stage costs are apportioned evenly over the batches (the
+    // renderer reports per-draw totals).
+    std::uint64_t tris = std::max<std::uint64_t>(1, stats.tris_in);
+    unsigned batches = static_cast<unsigned>(
+        (tris + params.batch_tris - 1) / params.batch_tris);
+    batches = std::max(1u, batches);
+
+    Tick g_total = params.geometryCycles(stats);
+    Tick r_total = params.rasterCycles(stats);
+    Tick f_total = params.fragmentCycles(stats);
+
+    DrawTiming record;
+    record.id = id;
+    record.tris = tris;
+    record.issue = issue_time;
+    record.geom_cycles = g_total;
+    record.raster_cycles = r_total;
+    record.frag_cycles = f_total;
+
+    Tick prev_geom_done = issue_time;
+    Tick draw_done = issue_time;
+    std::uint64_t tris_emitted = 0;
+    for (unsigned b = 0; b < batches; ++b) {
+        // Even apportioning with exact totals (last batch takes remainder).
+        auto share = [&](Tick total) {
+            Tick lo = total * b / batches;
+            Tick hi = total * (b + 1) / batches;
+            return hi - lo;
+        };
+        std::uint64_t batch_tris = tris * (b + 1) / batches - tris_emitted;
+        tris_emitted += batch_tris;
+
+        Tick g_done = geom.claim(prev_geom_done, share(g_total));
+        Tick r_done = raster.claim(g_done, share(r_total));
+        Tick f_done = frag.claim(r_done, share(f_total));
+        prev_geom_done = g_done;
+        draw_done = f_done;
+
+        geomTrisDone += batch_tris;
+        geomProgress.emplace_back(g_done, geomTrisDone);
+    }
+    chopin_assert(tris_emitted == tris);
+
+    trisSubmitted += tris;
+    record.geom_done = prev_geom_done;
+    record.done = draw_done;
+    timings.push_back(record);
+    lastDone = std::max(lastDone, draw_done);
+    return draw_done;
+}
+
+Tick
+GpuPipeline::submitGeometryWork(Tick at, Tick cycles)
+{
+    Tick done = geom.claim(at, cycles);
+    lastDone = std::max(lastDone, done);
+    return done;
+}
+
+std::uint64_t
+GpuPipeline::processedTrisAt(Tick t) const
+{
+    // geomProgress is sorted by time (the geometry stage is serialized);
+    // find the last checkpoint at or before t.
+    auto it = std::upper_bound(
+        geomProgress.begin(), geomProgress.end(), t,
+        [](Tick value, const auto &entry) { return value < entry.first; });
+    if (it == geomProgress.begin())
+        return 0;
+    return std::prev(it)->second;
+}
+
+void
+GpuPipeline::reset()
+{
+    geom.reset();
+    raster.reset();
+    frag.reset();
+    lastDone = 0;
+    trisSubmitted = 0;
+    geomProgress.clear();
+    geomTrisDone = 0;
+    timings.clear();
+}
+
+} // namespace chopin

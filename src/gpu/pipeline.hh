@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The per-GPU rendering pipeline timing model.
+ *
+ * Three serialized stages — geometry, raster, fragment — process draw
+ * commands at batch granularity with FIFO busy-until semantics: a batch
+ * enters a stage when both the previous stage has finished it and the stage
+ * is free. Frame latency is the fragment-stage completion of the last
+ * batch; per-stage busy totals give the breakdowns of Fig. 2 and Fig. 14.
+ *
+ * Geometry-stage completions are recorded as (time, cumulative triangles)
+ * checkpoints: this is the "number of processed triangles" feedback CHOPIN's
+ * draw-command scheduler consumes (Fig. 10), queryable at any simulated
+ * time with any staleness interval (Fig. 18).
+ */
+
+#ifndef CHOPIN_GPU_PIPELINE_HH
+#define CHOPIN_GPU_PIPELINE_HH
+
+#include <vector>
+
+#include "gpu/timing.hh"
+#include "sim/resource.hh"
+#include "util/types.hh"
+
+namespace chopin
+{
+
+/** Timing record of one draw execution (Fig. 9's raw data). */
+struct DrawTiming
+{
+    DrawId id = 0;
+    std::uint64_t tris = 0;
+    Tick issue = 0;     ///< when the driver issued the draw
+    Tick geom_done = 0; ///< geometry stage completion
+    Tick done = 0;      ///< fragment stage completion
+    Tick geom_cycles = 0;
+    Tick raster_cycles = 0;
+    Tick frag_cycles = 0;
+};
+
+/** One GPU's three-stage pipeline. */
+class GpuPipeline
+{
+  public:
+    explicit GpuPipeline(const TimingParams &params);
+
+    /**
+     * Submit one draw whose functional statistics are @p stats, issued at
+     * @p issue_time. Batches flow through the stages immediately
+     * (busy-until arithmetic); the draw's completion time is returned.
+     */
+    Tick submitDraw(DrawId id, const DrawStats &stats, Tick issue_time);
+
+    /**
+     * Add non-draw work to the geometry stage (GPUpd's primitive
+     * projection runs on the shader cores in front of the pipeline).
+     * @return completion time.
+     */
+    Tick submitGeometryWork(Tick at, Tick cycles);
+
+    /** Completion time of everything submitted so far. */
+    Tick finishTime() const { return lastDone; }
+
+    /** Triangles whose geometry processing completed by time @p t. */
+    std::uint64_t processedTrisAt(Tick t) const;
+
+    /** Total triangles submitted so far. */
+    std::uint64_t submittedTris() const { return trisSubmitted; }
+
+    /** Per-stage busy totals. */
+    Tick geomBusy() const { return geom.busyTime(); }
+    Tick rasterBusy() const { return raster.busyTime(); }
+    Tick fragBusy() const { return frag.busyTime(); }
+
+    /** Per-draw timing records, in submission order. */
+    const std::vector<DrawTiming> &drawTimings() const { return timings; }
+
+    /** Forget all state (new frame / new scheme). */
+    void reset();
+
+  private:
+    const TimingParams &params;
+    Resource geom;
+    Resource raster;
+    Resource frag;
+    Tick lastDone = 0;
+    std::uint64_t trisSubmitted = 0;
+    /** (time, cumulative triangles) geometry checkpoints, time-sorted. */
+    std::vector<std::pair<Tick, std::uint64_t>> geomProgress;
+    std::uint64_t geomTrisDone = 0;
+    std::vector<DrawTiming> timings;
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_GPU_PIPELINE_HH

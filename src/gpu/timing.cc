@@ -1,0 +1,63 @@
+#include "gpu/timing.hh"
+
+#include <cmath>
+
+namespace chopin
+{
+
+namespace
+{
+
+Tick
+cyclesOf(double work)
+{
+    return static_cast<Tick>(std::ceil(work));
+}
+
+} // namespace
+
+Tick
+TimingParams::geometryCycles(const DrawStats &s) const
+{
+    double cycles =
+        static_cast<double>(s.verts_shaded) * vert_shader_ops / shader_lanes +
+        static_cast<double>(s.tris_in) / tri_setup_rate;
+    return draw_setup_cycles + cyclesOf(cycles);
+}
+
+Tick
+TimingParams::rasterCycles(const DrawStats &s) const
+{
+    double cycles =
+        static_cast<double>(s.tris_rasterized) / tri_traverse_rate +
+        static_cast<double>(s.tris_coarse_rejected) / coarse_reject_rate +
+        static_cast<double>(s.frags_generated) / raster_frag_rate;
+    return cyclesOf(cycles);
+}
+
+Tick
+TimingParams::fragmentCycles(const DrawStats &s) const
+{
+    double cycles =
+        static_cast<double>(s.frags_generated) / early_z_rate +
+        static_cast<double>(s.frags_shaded) * frag_shader_ops / shader_lanes +
+        static_cast<double>(s.frags_textured) / tex_rate +
+        static_cast<double>(s.frags_written) / rop_rate;
+    return cyclesOf(cycles);
+}
+
+Tick
+TimingParams::projectionCycles(std::uint64_t tris) const
+{
+    double cycles = static_cast<double>(tris) * 3.0 * proj_ops_per_vert /
+                    shader_lanes;
+    return cyclesOf(cycles);
+}
+
+Tick
+TimingParams::composeCycles(std::uint64_t pixels) const
+{
+    return cyclesOf(static_cast<double>(pixels) / compose_rate);
+}
+
+} // namespace chopin

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * GPU timing parameters and per-stage cost functions.
+ *
+ * The configuration mirrors Table II of the paper: each GPU is a
+ * TeraScale2-class scaled-down device with 8 SMs of 32 shader cores and
+ * 8 ROPs at 1 GHz. Stage costs are analytical functions of the functional
+ * renderer's DrawStats; the per-draw fixed cost is what produces the spiky
+ * per-draw triangle rates of Fig. 9 and the bimodal composition-group
+ * economics behind the duplication-fallback threshold (Fig. 22).
+ *
+ * Defaults are calibrated so a single GPU spends roughly 20% of its frame
+ * in geometry processing on the Table III workloads, matching the 1-GPU
+ * bars of Fig. 2 (a unit test locks this in).
+ */
+
+#ifndef CHOPIN_GPU_TIMING_HH
+#define CHOPIN_GPU_TIMING_HH
+
+#include "gfx/state.hh"
+#include "util/types.hh"
+
+namespace chopin
+{
+
+/** Per-GPU microarchitectural rates (items per core cycle unless noted). */
+struct TimingParams
+{
+    /** Total shader ALU lanes: 8 SMs x 32 cores (Table II). */
+    double shader_lanes = 256.0;
+    /** Vertex shader ALU ops per vertex. */
+    double vert_shader_ops = 70.0;
+    /** Pixel shader ALU ops per fragment. */
+    double frag_shader_ops = 210.0;
+    /** Primitive assembly/setup throughput in the geometry stage. */
+    double tri_setup_rate = 8.0;
+    /** Raster-engine triangle traversal throughput. */
+    double tri_traverse_rate = 1.0;
+    /** Coarse tile-reject throughput (primitives outside this GPU's tiles). */
+    double coarse_reject_rate = 4.0;
+    /** Fragment generation throughput of the raster engine. */
+    double raster_frag_rate = 32.0;
+    /** Early depth/stencil test throughput. */
+    double early_z_rate = 16.0;
+    /** ROP blend/write throughput (8 ROPs, Table II). */
+    double rop_rate = 8.0;
+    /** Fixed pipeline cost per draw command (state change, flush). */
+    Tick draw_setup_cycles = 150;
+    /** Triangles per pipeline batch (pipelining granularity). */
+    unsigned batch_tris = 512;
+    /** Host driver cost to issue one draw command to a GPU. */
+    Tick driver_issue_cycles = 20;
+    /** Position-only transform ops/vertex for GPUpd's projection phase. */
+    double proj_ops_per_vert = 8.0;
+    /** Texture-unit sampling throughput (texels per cycle per GPU). */
+    double tex_rate = 16.0;
+    /** ROP throughput for reading/merging composition pixels. These are
+     *  simple compare-select/blend operations on compressed tile storage,
+     *  not shaded writes: 4 per ROP per cycle across the 8 ROPs. */
+    double compose_rate = 32.0;
+
+    /** Geometry-stage cycles for one draw's statistics. */
+    Tick geometryCycles(const DrawStats &s) const;
+    /** Raster-stage cycles. */
+    Tick rasterCycles(const DrawStats &s) const;
+    /** Fragment-stage (shader + ROP) cycles. */
+    Tick fragmentCycles(const DrawStats &s) const;
+    /** GPUpd projection-phase cycles for @p tris primitives. */
+    Tick projectionCycles(std::uint64_t tris) const;
+    /** ROP cycles to compose @p pixels incoming pixels. */
+    Tick composeCycles(std::uint64_t pixels) const;
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_GPU_TIMING_HH

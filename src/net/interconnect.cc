@@ -1,0 +1,73 @@
+#include "net/interconnect.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace chopin
+{
+
+Interconnect::Interconnect(unsigned num_gpus, const LinkParams &params)
+    : gpus(num_gpus), linkParams(params), egress(num_gpus), ingress(num_gpus),
+      links(static_cast<std::size_t>(num_gpus) * num_gpus)
+{
+    chopin_assert(num_gpus >= 1);
+    chopin_assert(params.bytes_per_cycle > 0.0);
+}
+
+Tick
+Interconnect::transferCycles(Bytes bytes) const
+{
+    if (std::isinf(linkParams.bytes_per_cycle))
+        return 0;
+    return static_cast<Tick>(
+        std::ceil(static_cast<double>(bytes) / linkParams.bytes_per_cycle));
+}
+
+Tick
+Interconnect::transfer(GpuId src, GpuId dst, Bytes bytes, Tick earliest,
+                       TrafficClass cls)
+{
+    chopin_assert(src < gpus && dst < gpus && src != dst,
+                  "bad transfer ", src, " -> ", dst);
+
+    Tick duration = transferCycles(bytes);
+    Resource &out = egress[src];
+    Resource &in = ingress[dst];
+    Resource &link = links[linkIndex(src, dst)];
+
+    Tick start = std::max({earliest, out.freeAt(), in.freeAt(), link.freeAt()});
+    out.claim(start, duration);
+    in.claim(start, duration);
+    link.claim(start, duration);
+
+    stats.total += bytes;
+    stats.by_class[static_cast<int>(cls)] += bytes;
+    stats.messages += 1;
+
+    return start + duration + linkParams.latency;
+}
+
+void
+Interconnect::blockIngressUntil(GpuId gpu, Tick until)
+{
+    chopin_assert(gpu < gpus);
+    Resource &in = ingress[gpu];
+    if (in.freeAt() < until)
+        in.claim(in.freeAt(), until - in.freeAt());
+}
+
+void
+Interconnect::reset()
+{
+    for (Resource &r : egress)
+        r.reset();
+    for (Resource &r : ingress)
+        r.reset();
+    for (Resource &r : links)
+        r.reset();
+    stats = TrafficStats{};
+}
+
+} // namespace chopin

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Inter-GPU interconnect model.
+ *
+ * Following the paper's methodology (Section V), GPUs are connected
+ * point-to-point, NVLink/DGX style: one unidirectional link per ordered GPU
+ * pair, 64 GB/s and 200 cycles by default (Table II). Each GPU additionally
+ * has a single serialized egress port and a single serialized ingress port,
+ * so (a) a GPU streams one outgoing message at a time, and (b) a busy or
+ * still-rendering destination back-pressures senders. That port
+ * serialization — not any tuned constant — is what produces the head-of-line
+ * blocking that makes naive direct-send composition congest and gives
+ * CHOPIN's image-composition scheduler something to fix.
+ *
+ * The model is busy-until arithmetic over sim::Resource: a transfer claims
+ * the source egress, the pair link, and the destination ingress from its
+ * start time for size/bandwidth cycles, and delivers wire-latency later.
+ */
+
+#ifndef CHOPIN_NET_INTERCONNECT_HH
+#define CHOPIN_NET_INTERCONNECT_HH
+
+#include <limits>
+#include <vector>
+
+#include "sim/resource.hh"
+#include "util/types.hh"
+
+namespace chopin
+{
+
+/** Link configuration (Table II defaults). */
+struct LinkParams
+{
+    /** Unidirectional bandwidth in bytes per GPU cycle (64 GB/s at 1 GHz). */
+    double bytes_per_cycle = 64.0;
+    /** Wire latency in cycles. */
+    Tick latency = 200;
+
+    /** Idealized links: unlimited bandwidth, zero latency (Fig. 5 setup). */
+    static LinkParams
+    ideal()
+    {
+        return {std::numeric_limits<double>::infinity(), 0};
+    }
+};
+
+/** What a message carries, for per-category traffic accounting. */
+enum class TrafficClass : std::uint8_t
+{
+    Composition,  ///< sub-image pixels (CHOPIN)
+    PrimDist,     ///< primitive ids (GPUpd distribution)
+    Sync,         ///< render-target / depth-buffer broadcasts
+    Scheduler,    ///< scheduler status messages
+    NumClasses,
+};
+
+/** Traffic counters, total and per class. */
+struct TrafficStats
+{
+    Bytes total = 0;
+    Bytes by_class[static_cast<int>(TrafficClass::NumClasses)] = {};
+    std::uint64_t messages = 0;
+
+    Bytes
+    ofClass(TrafficClass c) const
+    {
+        return by_class[static_cast<int>(c)];
+    }
+};
+
+/** The all-pairs point-to-point interconnect of one multi-GPU system. */
+class Interconnect
+{
+  public:
+    Interconnect(unsigned num_gpus, const LinkParams &params);
+
+    unsigned numGpus() const { return gpus; }
+    const LinkParams &params() const { return linkParams; }
+
+    /**
+     * Transfer @p bytes from @p src to @p dst, starting no earlier than
+     * @p earliest and no earlier than the involved ports/link are free.
+     *
+     * @return the delivery time (transfer end + wire latency).
+     */
+    Tick transfer(GpuId src, GpuId dst, Bytes bytes, Tick earliest,
+                  TrafficClass cls);
+
+    /**
+     * Reserve GPU @p gpu's ingress port until @p until: the GPU cannot
+     * service incoming composition messages while it is still rendering.
+     */
+    void blockIngressUntil(GpuId gpu, Tick until);
+
+    /** Time the egress port of @p gpu is next free. */
+    Tick egressFreeAt(GpuId gpu) const { return egress[gpu].freeAt(); }
+
+    /** Time the ingress port of @p gpu is next free. */
+    Tick ingressFreeAt(GpuId gpu) const { return ingress[gpu].freeAt(); }
+
+    /** Duration in cycles of a @p bytes transfer at link bandwidth. */
+    Tick transferCycles(Bytes bytes) const;
+
+    const TrafficStats &traffic() const { return stats; }
+
+    /** Clear port state and traffic counters (new frame). */
+    void reset();
+
+  private:
+    std::size_t
+    linkIndex(GpuId src, GpuId dst) const
+    {
+        return static_cast<std::size_t>(src) * gpus + dst;
+    }
+
+    unsigned gpus;
+    LinkParams linkParams;
+    std::vector<Resource> egress;  ///< one per GPU
+    std::vector<Resource> ingress; ///< one per GPU
+    std::vector<Resource> links;   ///< one per ordered pair
+    TrafficStats stats;
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_NET_INTERCONNECT_HH

@@ -1,0 +1,80 @@
+#include "sfr/afr.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace chopin
+{
+
+double
+AfrResult::avgFrameInterval() const
+{
+    if (frame_complete.size() < 2)
+        return static_cast<double>(makespan);
+    std::vector<Tick> sorted = frame_complete;
+    std::sort(sorted.begin(), sorted.end());
+    return static_cast<double>(sorted.back() - sorted.front()) /
+           static_cast<double>(sorted.size() - 1);
+}
+
+Tick
+AfrResult::worstFrameInterval() const
+{
+    if (frame_complete.size() < 2)
+        return makespan;
+    std::vector<Tick> sorted = frame_complete;
+    std::sort(sorted.begin(), sorted.end());
+    Tick worst = 0;
+    for (std::size_t i = 1; i < sorted.size(); ++i)
+        worst = std::max(worst, sorted[i] - sorted[i - 1]);
+    return worst;
+}
+
+double
+AfrResult::avgLatency() const
+{
+    chopin_assert(!frame_latency.empty());
+    double sum = 0;
+    for (Tick t : frame_latency)
+        sum += static_cast<double>(t);
+    return sum / static_cast<double>(frame_latency.size());
+}
+
+AfrResult
+runAfr(const SystemConfig &cfg, std::span<const FrameTrace> frames,
+       unsigned afr_groups, Scheme intra_scheme)
+{
+    chopin_assert(!frames.empty(), "AFR needs at least one frame");
+    chopin_assert(afr_groups >= 1 && cfg.num_gpus % afr_groups == 0,
+                  "GPU count ", cfg.num_gpus, " is not divisible into ",
+                  afr_groups, " AFR groups");
+
+    AfrResult result;
+    result.afr_groups = afr_groups;
+    result.gpus_per_group = cfg.num_gpus / afr_groups;
+
+    SystemConfig group_cfg = cfg;
+    group_cfg.num_gpus = result.gpus_per_group;
+
+    // A group renders its frames back to back; groups run independently
+    // (AFR groups share no state: each holds a full copy of the scene).
+    std::vector<Tick> group_free(afr_groups, 0);
+    result.frame_latency.reserve(frames.size());
+    result.frame_complete.reserve(frames.size());
+
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+        unsigned group = static_cast<unsigned>(f % afr_groups);
+        Scheme scheme = result.gpus_per_group == 1 ? Scheme::SingleGpu
+                                                   : intra_scheme;
+        FrameResult r = runScheme(scheme, group_cfg, frames[f]);
+        Tick complete = group_free[group] + r.cycles;
+        group_free[group] = complete;
+        result.frame_latency.push_back(r.cycles);
+        result.frame_complete.push_back(complete);
+        result.makespan = std::max(result.makespan, complete);
+    }
+    return result;
+}
+
+} // namespace chopin

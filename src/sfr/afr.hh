@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Alternate Frame Rendering (AFR) and AFR+SFR hybrids.
+ *
+ * The paper's introduction motivates SFR by AFR's micro-stuttering: AFR
+ * improves the *average* frame rate (frames complete in parallel on
+ * different GPUs) but does nothing for the *instantaneous* frame rate —
+ * every individual frame still takes as long as one GPU group needs.
+ * Section VI-H suggests AFR+SFR hybrids for very large systems.
+ *
+ * This module renders a frame sequence on a system partitioned into AFR
+ * groups, each group running an SFR scheme internally, and reports both
+ * throughput and latency/stutter metrics.
+ */
+
+#ifndef CHOPIN_SFR_AFR_HH
+#define CHOPIN_SFR_AFR_HH
+
+#include <span>
+
+#include "sfr/schemes.hh"
+
+namespace chopin
+{
+
+/** Result of rendering a frame sequence under AFR(+SFR). */
+struct AfrResult
+{
+    unsigned afr_groups = 1;
+    unsigned gpus_per_group = 1;
+
+    /** Per-frame rendering latency (cycles), in input order. */
+    std::vector<Tick> frame_latency;
+    /** Absolute completion time of each frame (groups pipeline frames). */
+    std::vector<Tick> frame_complete;
+    /** Completion time of the whole sequence. */
+    Tick makespan = 0;
+
+    /** Average cycles between consecutive frame completions (throughput). */
+    double avgFrameInterval() const;
+    /** Largest gap between consecutive frame completions: the stutter the
+     *  paper's AFR discussion is about. */
+    Tick worstFrameInterval() const;
+    /** Mean single-frame latency (responsiveness). */
+    double avgLatency() const;
+};
+
+/**
+ * Render @p frames on @p cfg.num_gpus GPUs split into @p afr_groups equal
+ * groups; frame i runs on group i % afr_groups using @p intra_scheme
+ * (with the group's GPU count). afr_groups == 1 is pure SFR; afr_groups ==
+ * cfg.num_gpus is pure AFR.
+ *
+ * @pre cfg.num_gpus % afr_groups == 0 and frames is non-empty.
+ */
+AfrResult runAfr(const SystemConfig &cfg,
+                 std::span<const FrameTrace> frames, unsigned afr_groups,
+                 Scheme intra_scheme = Scheme::ChopinCompSched);
+
+} // namespace chopin
+
+#endif // CHOPIN_SFR_AFR_HH

@@ -1,0 +1,33 @@
+#include "sfr/config.hh"
+
+namespace chopin
+{
+
+std::string
+toString(CompPayload p)
+{
+    switch (p) {
+      case CompPayload::WrittenPixels: return "written-pixels";
+      case CompPayload::SubTiles:      return "8x8-subtiles";
+      case CompPayload::FullTiles:     return "full-tiles";
+    }
+    return "?";
+}
+
+std::string
+toString(Scheme s)
+{
+    switch (s) {
+      case Scheme::SingleGpu:        return "SingleGPU";
+      case Scheme::Duplication:      return "Duplication";
+      case Scheme::Gpupd:            return "GPUpd";
+      case Scheme::GpupdIdeal:       return "IdealGPUpd";
+      case Scheme::ChopinRoundRobin: return "CHOPIN_Round_Robin";
+      case Scheme::Chopin:           return "CHOPIN";
+      case Scheme::ChopinCompSched:  return "CHOPIN+CompSched";
+      case Scheme::ChopinIdeal:      return "IdealCHOPIN";
+    }
+    return "?";
+}
+
+} // namespace chopin

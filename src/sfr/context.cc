@@ -1,0 +1,137 @@
+#include "sfr/context.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace chopin
+{
+
+SimContext::SimContext(const SystemConfig &config, const FrameTrace &trace,
+                       const LinkParams &link)
+    : cfg(config), trace(trace), vp(trace.viewport),
+      grid(vp.width, vp.height, config.num_gpus, config.tile_size,
+           config.tile_assignment),
+      net(config.num_gpus, link)
+{
+    chopin_assert(cfg.num_gpus >= 1 && cfg.num_gpus <= 64);
+    pipes.reserve(cfg.num_gpus);
+    for (unsigned g = 0; g < cfg.num_gpus; ++g)
+        pipes.emplace_back(cfg.timing);
+
+    rts.reserve(trace.num_render_targets);
+    rt_dirty.resize(trace.num_render_targets);
+    for (std::uint32_t r = 0; r < trace.num_render_targets; ++r) {
+        rts.emplace_back(vp.width, vp.height);
+        rts[r].clear(trace.clear_color, trace.clear_depth);
+        rt_dirty[r].assign(static_cast<std::size_t>(grid.tileCount()), 0);
+    }
+}
+
+Tick
+SimContext::maxPipeFinish() const
+{
+    Tick t = 0;
+    for (const GpuPipeline &p : pipes)
+        t = std::max(t, p.finishTime());
+    return t;
+}
+
+Tick
+SimContext::syncBroadcast(std::uint32_t rt, Tick now)
+{
+    chopin_assert(rt < rts.size());
+    if (cfg.num_gpus == 1 || rt == 0) {
+        // The back buffer (render target 0) is scanned out, never sampled
+        // mid-frame; only intermediate render targets (shadow maps, bloom
+        // buffers) need cross-GPU consistency before they are consumed.
+        std::fill(rt_dirty[rt].begin(), rt_dirty[rt].end(), 0);
+        return now;
+    }
+
+    // Bytes each GPU owns of the dirty region: color + depth, 8 B/pixel.
+    std::vector<Bytes> bytes(cfg.num_gpus, 0);
+    const std::vector<std::uint8_t> &dirty = rt_dirty[rt];
+    for (int t = 0; t < grid.tileCount(); ++t) {
+        if (!dirty[t])
+            continue;
+        GpuId owner = grid.ownerOfTile(t % grid.tilesX(), t / grid.tilesX());
+        bytes[owner] += static_cast<Bytes>(grid.pixelsInTile(t)) * 8;
+    }
+
+    Tick end = now;
+    for (GpuId src = 0; src < cfg.num_gpus; ++src) {
+        if (bytes[src] == 0)
+            continue;
+        for (GpuId dst = 0; dst < cfg.num_gpus; ++dst) {
+            if (dst == src)
+                continue;
+            Tick arrival = net.transfer(src, dst, bytes[src], now,
+                                        TrafficClass::Sync);
+            end = std::max(end, arrival);
+        }
+    }
+    std::fill(rt_dirty[rt].begin(), rt_dirty[rt].end(), 0);
+    breakdown.sync += end - now;
+    return end;
+}
+
+DrawStats
+SimContext::applyCullRetention(const DrawStats &stats)
+{
+    if (cfg.cull_retention <= 0.0)
+        return stats;
+    DrawStats s = stats;
+    std::uint64_t retained = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(s.frags_early_fail) *
+                     cfg.cull_retention));
+    retained = std::min(retained, s.frags_early_fail);
+    // Retained fragments run the shader and reach the ROP as if they had
+    // passed; they remain visually culled (timing-only knob, Fig. 16).
+    s.frags_shaded += retained;
+    s.frags_written += retained;
+    retained_culled += retained;
+    return s;
+}
+
+const Image *
+SimContext::textureFor(const DrawCommand &cmd) const
+{
+    if (cmd.texture_rt < 0)
+        return nullptr;
+    chopin_assert(static_cast<std::size_t>(cmd.texture_rt) < rts.size(),
+                  "draw ", cmd.id, " samples nonexistent render target ",
+                  cmd.texture_rt);
+    chopin_assert(static_cast<std::uint32_t>(cmd.texture_rt) !=
+                      cmd.state.render_target,
+                  "draw ", cmd.id, " samples its own render target");
+    return &rts[static_cast<std::size_t>(cmd.texture_rt)].color();
+}
+
+FrameResult
+SimContext::finish(Scheme scheme, Tick end)
+{
+    FrameResult r;
+    r.scheme = scheme;
+    r.num_gpus = cfg.num_gpus;
+    r.cycles = end;
+    r.breakdown = breakdown;
+    Tick accounted = breakdown.prim_projection + breakdown.prim_distribution +
+                     breakdown.composition + breakdown.sync;
+    r.breakdown.normal_pipeline = end > accounted ? end - accounted : 0;
+    r.traffic = net.traffic();
+    r.totals = totals;
+    for (const GpuPipeline &p : pipes) {
+        r.geom_busy += p.geomBusy();
+        r.raster_busy += p.rasterBusy();
+        r.frag_busy += p.fragBusy();
+    }
+    if (!pipes.empty())
+        r.draw_timings = pipes[0].drawTimings();
+    r.retained_culled = retained_culled;
+    r.image = rts[0].color();
+    return r;
+}
+
+} // namespace chopin

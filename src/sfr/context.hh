@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared per-run simulation state: tile grid, interconnect, per-GPU
+ * pipelines, render-target surfaces and dirty-tile tracking, plus the
+ * render-target consistency broadcast every SFR scheme performs
+ * (Section V: "every time the application switches to a new render target
+ * or depth buffer ... each GPU broadcasts the latest content of its current
+ * render targets and depth buffers to other GPUs").
+ */
+
+#ifndef CHOPIN_SFR_CONTEXT_HH
+#define CHOPIN_SFR_CONTEXT_HH
+
+#include <vector>
+
+#include "gfx/surface.hh"
+#include "gfx/tiles.hh"
+#include "sfr/config.hh"
+#include "trace/draw_command.hh"
+
+namespace chopin
+{
+
+/** Mutable state of one frame simulation under one scheme. */
+class SimContext
+{
+  public:
+    /**
+     * @param cfg   system configuration (copied; pipelines reference the
+     *              copy's timing parameters)
+     * @param trace frame to render (must outlive the context)
+     * @param link  link parameters (schemes pass cfg.link or ideal links)
+     */
+    SimContext(const SystemConfig &cfg, const FrameTrace &trace,
+               const LinkParams &link);
+
+    SimContext(const SimContext &) = delete;
+    SimContext &operator=(const SimContext &) = delete;
+
+    const SystemConfig cfg;
+    const FrameTrace &trace;
+    Viewport vp;
+    TileGrid grid;
+    Interconnect net;
+    std::vector<GpuPipeline> pipes;
+
+    /** One surface per render target (region ownership is accounting-only;
+     *  a shared surface equals the union of the per-GPU slices). */
+    std::vector<Surface> rts;
+    /** Dirty-tile flags per render target since the last sync broadcast. */
+    std::vector<std::vector<std::uint8_t>> rt_dirty;
+
+    CycleBreakdown breakdown;
+    DrawStats totals;
+    std::uint64_t retained_culled = 0;
+
+    /** Latest completion time across all GPU pipelines. */
+    Tick maxPipeFinish() const;
+
+    /**
+     * Broadcast each GPU's owned dirty tiles of render target @p rt
+     * (color + depth) to all other GPUs, starting at @p now. Clears the
+     * dirty flags and accounts the stall into breakdown.sync.
+     *
+     * @return the completion time (== @p now when nothing is dirty or the
+     *         system has a single GPU).
+     */
+    Tick syncBroadcast(std::uint32_t rt, Tick now);
+
+    /**
+     * Apply Fig. 16's hypothetical-workload knob: move
+     * cfg.cull_retention of the early-depth-culled fragments into the
+     * shaded/written counts of a *copy* of @p stats used for timing, and
+     * track the retained count.
+     */
+    DrawStats applyCullRetention(const DrawStats &stats);
+
+    /** The color image a draw samples, or null (validates the RT index). */
+    const Image *textureFor(const DrawCommand &cmd) const;
+
+    /** Assemble the FrameResult after the frame completes at @p end. */
+    FrameResult finish(Scheme scheme, Tick end);
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_SFR_CONTEXT_HH

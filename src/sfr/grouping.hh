@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Composition-group formation (Section IV-A of the paper).
+ *
+ * Consecutive draw commands are grouped greedily; a boundary is inserted
+ * between two adjacent draws on any of the paper's five events:
+ *   1. swapping to the next frame (implicit: one trace = one frame),
+ *   2. switching render target or depth buffer,
+ *   3. enabling/disabling depth-buffer updates,
+ *   4. changing the fragment occlusion (depth) test function,
+ *   5. changing the pixel composition (blend) operator.
+ *
+ * Each group is then classified: groups whose primitive count is below the
+ * duplication threshold, or whose state cannot be resolved by out-of-order
+ * composition (non-composable depth function with depth writes, or
+ * depth-read-only draws, whose test needs the region-distributed depth
+ * buffer), execute in duplication mode; the rest are distributed and
+ * composed in parallel.
+ */
+
+#ifndef CHOPIN_SFR_GROUPING_HH
+#define CHOPIN_SFR_GROUPING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/draw_command.hh"
+
+namespace chopin
+{
+
+/** Why two adjacent draws were split into different groups. */
+enum class BoundaryEvent : std::uint8_t
+{
+    FrameStart,     ///< first group of the frame
+    RenderTarget,   ///< event 2: render target / depth buffer switch
+    DepthWrite,     ///< event 3: depth-update enable/disable toggled
+    DepthFunc,      ///< event 4: occlusion test function changed
+    BlendOp,        ///< event 5: composition operator changed
+};
+
+/** One composition group: a contiguous draw range with uniform state. */
+struct CompositionGroup
+{
+    GroupId id = 0;
+    std::uint32_t first_draw = 0; ///< index into FrameTrace::draws
+    std::uint32_t last_draw = 0;  ///< inclusive
+    BoundaryEvent opened_by = BoundaryEvent::FrameStart;
+
+    // Uniform state of the group's draws.
+    std::uint32_t render_target = 0;
+    std::uint32_t depth_buffer = 0;
+    bool depth_test = true;
+    bool depth_write = true;
+    DepthFunc depth_func = DepthFunc::LessEqual;
+    BlendOp blend_op = BlendOp::Opaque;
+    bool stencil_test = false;
+
+    std::uint64_t triangles = 0;
+
+    bool transparent() const { return isTransparent(blend_op); }
+    std::uint32_t drawCount() const { return last_draw - first_draw + 1; }
+};
+
+/** Split @p trace into composition groups at the five boundary events. */
+std::vector<CompositionGroup> formGroups(const FrameTrace &trace);
+
+/**
+ * @return true if @p group can run distributed (CHOPIN mode) under the
+ * given primitive-count threshold; false means duplication fallback.
+ */
+bool groupDistributable(const CompositionGroup &group,
+                        std::uint64_t threshold);
+
+} // namespace chopin
+
+#endif // CHOPIN_SFR_GROUPING_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Partitioned rendering: execute one draw command once, but attribute the
+ * work to the N GPUs of an SFR system according to tile ownership.
+ *
+ * Used by the primitive-duplication baseline, by GPUpd's main pipeline, and
+ * by CHOPIN's small-group duplication fallback. Geometry work is attributed
+ * per scheme: duplication replicates it on every GPU; GPUpd charges it only
+ * to the GPUs that own the primitive (they are the ones that received it).
+ */
+
+#ifndef CHOPIN_SFR_PARTITION_RENDER_HH
+#define CHOPIN_SFR_PARTITION_RENDER_HH
+
+#include <vector>
+
+#include "gfx/renderer.hh"
+#include "gfx/surface.hh"
+#include "gfx/tiles.hh"
+#include "trace/draw_command.hh"
+
+namespace chopin
+{
+
+/** How geometry-stage work is charged in renderDrawPartitioned(). */
+enum class GeometryCharging
+{
+    /** Every GPU processes every primitive (conventional SFR). */
+    Duplicated,
+    /** A GPU processes only the primitives whose bounding box overlaps its
+     *  tiles (GPUpd: each GPU received exactly those primitives). */
+    OwnersOnly,
+};
+
+/** Per-GPU outcome of a partitioned draw. */
+struct PartitionedDraw
+{
+    std::vector<DrawStats> per_gpu; ///< indexed by GpuId
+    /** Primitive count each GPU receives under sort-first distribution
+     *  (GPUpd ID-exchange sizing); Duplicated charging fills it too. */
+    std::vector<std::uint64_t> owned_tris;
+};
+
+/**
+ * Render @p cmd into the shared surface @p target (each pixel is owned by
+ * exactly one GPU, so one shared surface is equivalent to N region slices),
+ * splitting the statistics across the GPUs of @p grid.
+ *
+ * @param touched_tiles optional dirty-tile flags of the target (for
+ *        render-target sync sizing), indexed by grid tile index.
+ */
+PartitionedDraw renderDrawPartitioned(Surface &target, const Viewport &vp,
+                                      const DrawCommand &cmd,
+                                      const Mat4 &view_proj,
+                                      const TileGrid &grid,
+                                      GeometryCharging charging,
+                                      std::vector<std::uint8_t> *touched_tiles,
+                                      const Image *texture = nullptr);
+
+} // namespace chopin
+
+#endif // CHOPIN_SFR_PARTITION_RENDER_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The SFR scheme runners. Each runs one frame under one scheme and returns
+ * its timing, traffic, fragment statistics and the final image (which the
+ * oracle tests compare against the single-GPU reference).
+ */
+
+#ifndef CHOPIN_SFR_SCHEMES_HH
+#define CHOPIN_SFR_SCHEMES_HH
+
+#include "sfr/config.hh"
+#include "sfr/draw_scheduler.hh"
+#include "trace/draw_command.hh"
+
+namespace chopin
+{
+
+/** Single-GPU in-order rendering: oracle image + normalization baseline. */
+FrameResult runSingleGpu(const SystemConfig &cfg, const FrameTrace &trace);
+
+/** Conventional SFR: every GPU processes every primitive (Section III-A). */
+FrameResult runDuplication(const SystemConfig &cfg, const FrameTrace &trace);
+
+/** GPUpd (Kim et al., MICRO 2017) with batching and runahead; @p ideal uses
+ *  zero-latency infinite-bandwidth links (Fig. 5's idealization). */
+FrameResult runGpupd(const SystemConfig &cfg, const FrameTrace &trace,
+                     bool ideal);
+
+/** CHOPIN variant selection. */
+struct ChopinOptions
+{
+    DrawPolicy policy = DrawPolicy::FewestRemaining;
+    bool comp_scheduler = false;
+    bool ideal = false;
+};
+
+/** CHOPIN (Section IV). */
+FrameResult runChopin(const SystemConfig &cfg, const FrameTrace &trace,
+                      const ChopinOptions &opts);
+
+/** Dispatch by Scheme enum (SingleGpu forces num_gpus = 1). */
+FrameResult runScheme(Scheme scheme, const SystemConfig &cfg,
+                      const FrameTrace &trace);
+
+} // namespace chopin
+
+#endif // CHOPIN_SFR_SCHEMES_HH

@@ -1,0 +1,51 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace chopin
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    chopin_assert(when >= currentTick,
+                  "event scheduled into the past: ", when, " < ", currentTick);
+    events.push(Entry{when, nextSeq++, std::move(cb)});
+}
+
+Tick
+EventQueue::run()
+{
+    return runUntil(~Tick(0));
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!events.empty() && events.top().when <= limit) {
+        // priority_queue::top() is const; the callback must be moved out
+        // before pop() destroys the entry. Entry is mutable apart from the
+        // ordering keys, so the const_cast is safe: the heap ordering only
+        // depends on (when, seq), which are left untouched.
+        Entry &top = const_cast<Entry &>(events.top());
+        Tick when = top.when;
+        Callback cb = std::move(top.cb);
+        events.pop();
+        currentTick = when;
+        cb();
+    }
+    return currentTick;
+}
+
+void
+EventQueue::reset()
+{
+    while (!events.empty())
+        events.pop();
+    currentTick = 0;
+    nextSeq = 0;
+}
+
+} // namespace chopin

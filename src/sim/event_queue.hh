@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The CHOPIN timing model is event-driven at draw-batch / network-message
+ * granularity: every hardware activity schedules a callback at an absolute
+ * Tick. Events scheduled for the same Tick fire in insertion order
+ * (deterministic FIFO tie-break), which the multi-GPU schedulers rely on for
+ * reproducibility.
+ */
+
+#ifndef CHOPIN_SIM_EVENT_QUEUE_HH
+#define CHOPIN_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace chopin
+{
+
+/** The event queue driving one simulation. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return currentTick; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @pre when >= now() (no scheduling into the past).
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(currentTick + delay, std::move(cb));
+    }
+
+    /** Number of events not yet executed. */
+    std::size_t pending() const { return events.size(); }
+
+    /**
+     * Run until the queue drains.
+     * @return the time of the last executed event.
+     */
+    Tick run();
+
+    /** Run until now() would exceed @p limit; remaining events stay queued. */
+    Tick runUntil(Tick limit);
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq; // insertion order for same-tick determinism
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> events;
+    Tick currentTick = 0;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Text tables and CSV output for the benchmark harnesses. Every bench
+ * binary prints a human-readable aligned table of the paper's rows plus a
+ * machine-readable CSV block.
+ */
+
+#ifndef CHOPIN_STATS_TABLE_HH
+#define CHOPIN_STATS_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace chopin
+{
+
+/** Column-aligned text table with CSV export. */
+class TextTable
+{
+  public:
+    /** @param header column names. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Add a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return body.size(); }
+
+    /** Render aligned with two-space gutters. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Format a double with @p digits fractional digits. */
+std::string formatDouble(double v, int digits = 3);
+
+/** Format bytes as MB with two fractional digits. */
+std::string formatMb(std::uint64_t bytes);
+
+} // namespace chopin
+
+#endif // CHOPIN_STATS_TABLE_HH

@@ -1,0 +1,25 @@
+#include "trace/draw_command.hh"
+
+namespace chopin
+{
+
+std::uint64_t
+FrameTrace::totalTriangles() const
+{
+    std::uint64_t n = 0;
+    for (const DrawCommand &d : draws)
+        n += d.triangleCount();
+    return n;
+}
+
+std::uint64_t
+FrameTrace::transparentDraws() const
+{
+    std::uint64_t n = 0;
+    for (const DrawCommand &d : draws)
+        if (isTransparent(d.state.blend_op))
+            ++n;
+    return n;
+}
+
+} // namespace chopin

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Frame traces: the unit of work the simulator consumes.
+ *
+ * A frame is an ordered list of draw commands, each carrying its primitives
+ * and raster state — the same information the paper's annotated ATTILA
+ * traces provide. Traces are either produced by the synthetic generator
+ * (trace/generator.hh) from a per-game profile, built programmatically via
+ * the public API, or loaded from a file (trace/trace_io.hh).
+ */
+
+#ifndef CHOPIN_TRACE_DRAW_COMMAND_HH
+#define CHOPIN_TRACE_DRAW_COMMAND_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gfx/geometry.hh"
+#include "gfx/state.hh"
+#include "util/types.hh"
+
+namespace chopin
+{
+
+/** One draw command: primitives + state. */
+struct DrawCommand
+{
+    DrawId id = 0;
+    RasterState state;
+    Mat4 model = Mat4::identity(); ///< per-draw model matrix
+    std::vector<Triangle> triangles;
+    float alpha_ref = 0.5f; ///< alpha-test threshold (shader_discard draws)
+    bool backface_cull = true;
+    /**
+     * Render target sampled by the pixel shader (-1 = none). The shader
+     * modulates the interpolated color with the texel at the fragment's
+     * screen position — the screen-space post-processing pattern (bloom,
+     * reflections) that makes intermediate render targets feed the final
+     * image and forces the cross-GPU RT consistency sync of Section V.
+     */
+    std::int32_t texture_rt = -1;
+
+    std::uint64_t
+    triangleCount() const
+    {
+        return triangles.size();
+    }
+};
+
+/** A single-frame trace (the paper evaluates single-frame traces). */
+struct FrameTrace
+{
+    std::string name;      ///< short benchmark name (e.g. "cod2")
+    std::string full_name; ///< human-readable title
+    Viewport viewport;
+    Mat4 view_proj = Mat4::identity();
+    Color clear_color{0.05f, 0.05f, 0.08f, 1.0f};
+    float clear_depth = 1.0f;
+    /** Number of render targets used (ids 0 .. num_render_targets-1). */
+    std::uint32_t num_render_targets = 1;
+    /** Number of depth buffers used. */
+    std::uint32_t num_depth_buffers = 1;
+    std::vector<DrawCommand> draws;
+
+    /** Total input primitives across all draws. */
+    std::uint64_t totalTriangles() const;
+
+    /** Number of draws with a transparent blend operator. */
+    std::uint64_t transparentDraws() const;
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_TRACE_DRAW_COMMAND_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Synthetic frame-trace generation.
+ *
+ * The paper's eight workloads are single-frame captures of proprietary
+ * games, which cannot be redistributed; this generator regenerates
+ * structurally equivalent frames from the published per-game statistics
+ * (Table III) plus per-game behavioural knobs (trace/profile.hh). See
+ * DESIGN.md for the substitution argument.
+ *
+ * Frame anatomy (mirroring a typical DX9-era frame):
+ *   1. a few full-screen background draws (sky, backdrop),
+ *   2. the opaque object section — heavy-tailed draw sizes, screen-localized
+ *      clusters, roughly front-to-back order — interrupted by intermediate
+ *      render-target passes (shadow/bloom), depth-read-only decal draws and
+ *      occasional depth-function changes,
+ *   3. a transparent tail: `over`-blended surfaces back-to-front, then
+ *      additive particles.
+ * Every one of CHOPIN's five composition-group boundary events therefore
+ * occurs naturally in each generated frame.
+ */
+
+#ifndef CHOPIN_TRACE_GENERATOR_HH
+#define CHOPIN_TRACE_GENERATOR_HH
+
+#include "trace/draw_command.hh"
+#include "trace/profile.hh"
+
+namespace chopin
+{
+
+/** Generate the frame trace for @p profile. Deterministic in profile.seed. */
+FrameTrace generateTrace(const BenchmarkProfile &profile);
+
+/** Convenience: generate a benchmark by name at a given scale divisor. */
+FrameTrace generateBenchmark(const std::string &name, int scale_divisor = 1);
+
+} // namespace chopin
+
+#endif // CHOPIN_TRACE_GENERATOR_HH

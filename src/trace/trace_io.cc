@@ -1,0 +1,143 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/log.hh"
+
+namespace chopin
+{
+
+namespace
+{
+
+constexpr std::uint32_t traceMagic = 0x43484f50; // "CHOP"
+constexpr std::uint32_t traceVersion = 3; // v3: stencil + RT sampling
+
+template <typename T>
+void
+put(std::ostream &os, const T &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+void
+get(std::istream &is, T &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!is)
+        fatal("trace file truncated");
+}
+
+void
+putString(std::ostream &os, const std::string &s)
+{
+    put(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+getString(std::istream &is)
+{
+    std::uint32_t n;
+    get(is, n);
+    if (n > (1u << 20))
+        fatal("trace file corrupt: unreasonable string length ", n);
+    std::string s(n, '\0');
+    is.read(s.data(), n);
+    if (!is)
+        fatal("trace file truncated");
+    return s;
+}
+
+} // namespace
+
+bool
+saveTrace(const FrameTrace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+
+    put(os, traceMagic);
+    put(os, traceVersion);
+    putString(os, trace.name);
+    putString(os, trace.full_name);
+    put(os, trace.viewport.width);
+    put(os, trace.viewport.height);
+    put(os, trace.view_proj);
+    put(os, trace.clear_color);
+    put(os, trace.clear_depth);
+    put(os, trace.num_render_targets);
+    put(os, trace.num_depth_buffers);
+    put(os, static_cast<std::uint64_t>(trace.draws.size()));
+    for (const DrawCommand &d : trace.draws) {
+        put(os, d.id);
+        put(os, d.state);
+        put(os, d.model);
+        put(os, d.alpha_ref);
+        put(os, d.backface_cull);
+        put(os, d.texture_rt);
+        put(os, static_cast<std::uint64_t>(d.triangles.size()));
+        os.write(reinterpret_cast<const char *>(d.triangles.data()),
+                 static_cast<std::streamsize>(d.triangles.size() *
+                                              sizeof(Triangle)));
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+loadTrace(FrameTrace &trace, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+
+    std::uint32_t magic, version;
+    get(is, magic);
+    get(is, version);
+    if (magic != traceMagic)
+        fatal("'", path, "' is not a CHOPIN trace file");
+    if (version != traceVersion)
+        fatal("trace file version ", version, " unsupported (expected ",
+              traceVersion, ")");
+
+    trace = FrameTrace{};
+    trace.name = getString(is);
+    trace.full_name = getString(is);
+    get(is, trace.viewport.width);
+    get(is, trace.viewport.height);
+    get(is, trace.view_proj);
+    get(is, trace.clear_color);
+    get(is, trace.clear_depth);
+    get(is, trace.num_render_targets);
+    get(is, trace.num_depth_buffers);
+    std::uint64_t n_draws;
+    get(is, n_draws);
+    if (n_draws > (1ull << 24))
+        fatal("trace file corrupt: unreasonable draw count ", n_draws);
+    trace.draws.resize(n_draws);
+    for (DrawCommand &d : trace.draws) {
+        get(is, d.id);
+        get(is, d.state);
+        get(is, d.model);
+        get(is, d.alpha_ref);
+        get(is, d.backface_cull);
+        get(is, d.texture_rt);
+        std::uint64_t n_tris;
+        get(is, n_tris);
+        if (n_tris > (1ull << 28))
+            fatal("trace file corrupt: unreasonable triangle count ", n_tris);
+        d.triangles.resize(n_tris);
+        is.read(reinterpret_cast<char *>(d.triangles.data()),
+                static_cast<std::streamsize>(n_tris * sizeof(Triangle)));
+        if (!is)
+            fatal("trace file truncated");
+    }
+    return true;
+}
+
+} // namespace chopin

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Binary (de)serialization of frame traces.
+ *
+ * Lets users regenerate a trace once and reuse it across sweeps, or author
+ * traces with external tools. The format is a simple little-endian dump
+ * with a magic/version header; it is not intended to be stable across major
+ * versions.
+ */
+
+#ifndef CHOPIN_TRACE_TRACE_IO_HH
+#define CHOPIN_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/draw_command.hh"
+
+namespace chopin
+{
+
+/** Serialize @p trace to @p path. @return false on IO failure. */
+bool saveTrace(const FrameTrace &trace, const std::string &path);
+
+/**
+ * Load a trace previously written by saveTrace().
+ * fatal() on malformed input; @return false only on open failure.
+ */
+bool loadTrace(FrameTrace &trace, const std::string &path);
+
+} // namespace chopin
+
+#endif // CHOPIN_TRACE_TRACE_IO_HH

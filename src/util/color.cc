@@ -1,0 +1,26 @@
+#include "util/color.hh"
+
+#include <cmath>
+
+namespace chopin
+{
+
+std::uint32_t
+packRgba8(const Color &c)
+{
+    Color cc = clamp01(c);
+    auto q = [](float v) {
+        return static_cast<std::uint32_t>(std::lround(v * 255.0f));
+    };
+    return (q(cc.r) << 24) | (q(cc.g) << 16) | (q(cc.b) << 8) | q(cc.a);
+}
+
+Color
+unpackRgba8(std::uint32_t rgba)
+{
+    auto u = [](std::uint32_t v) { return static_cast<float>(v) / 255.0f; };
+    return {u((rgba >> 24) & 0xff), u((rgba >> 16) & 0xff),
+            u((rgba >> 8) & 0xff), u(rgba & 0xff)};
+}
+
+} // namespace chopin

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Color representation used throughout the functional pipeline and the
+ * composition library.
+ *
+ * Colors are stored as straight (non-premultiplied) RGBA floats while being
+ * shaded; the composition library converts to premultiplied form where the
+ * associativity of the `over` operator requires it.
+ */
+
+#ifndef CHOPIN_UTIL_COLOR_HH
+#define CHOPIN_UTIL_COLOR_HH
+
+#include <algorithm>
+#include <cstdint>
+
+namespace chopin
+{
+
+/** Straight-alpha RGBA color, components nominally in [0, 1]. */
+struct Color
+{
+    float r = 0.0f;
+    float g = 0.0f;
+    float b = 0.0f;
+    float a = 0.0f;
+
+    constexpr Color() = default;
+    constexpr Color(float rr, float gg, float bb, float aa)
+        : r(rr), g(gg), b(bb), a(aa)
+    {}
+
+    constexpr Color operator+(const Color &o) const
+    {
+        return {r + o.r, g + o.g, b + o.b, a + o.a};
+    }
+    constexpr Color operator-(const Color &o) const
+    {
+        return {r - o.r, g - o.g, b - o.b, a - o.a};
+    }
+    constexpr Color operator*(float s) const
+    {
+        return {r * s, g * s, b * s, a * s};
+    }
+    constexpr Color operator*(const Color &o) const
+    {
+        return {r * o.r, g * o.g, b * o.b, a * o.a};
+    }
+
+    constexpr bool operator==(const Color &o) const = default;
+};
+
+/** Clamp all components to [0, 1]. */
+constexpr Color
+clamp01(const Color &c)
+{
+    auto cl = [](float v) { return v < 0.0f ? 0.0f : (v > 1.0f ? 1.0f : v); };
+    return {cl(c.r), cl(c.g), cl(c.b), cl(c.a)};
+}
+
+/** Pack to 8-bit RGBA (for image output / byte-exact comparisons). */
+std::uint32_t packRgba8(const Color &c);
+
+/** Unpack from 8-bit RGBA. */
+Color unpackRgba8(std::uint32_t rgba);
+
+/** Component-wise maximum absolute difference between two colors. */
+inline float
+maxAbsDiff(const Color &x, const Color &y)
+{
+    float dr = std::abs(x.r - y.r);
+    float dg = std::abs(x.g - y.g);
+    float db = std::abs(x.b - y.b);
+    float da = std::abs(x.a - y.a);
+    return std::max(std::max(dr, dg), std::max(db, da));
+}
+
+} // namespace chopin
+
+#endif // CHOPIN_UTIL_COLOR_HH

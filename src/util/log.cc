@@ -1,0 +1,37 @@
+#include "util/log.hh"
+
+namespace chopin
+{
+
+namespace
+{
+LogLevel globalLevel = LogLevel::Normal;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail
+{
+
+void
+die(std::string_view kind, const std::string &msg, bool abort_process)
+{
+    std::cerr << kind << ": " << msg << std::endl;
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace chopin

@@ -1,0 +1,105 @@
+#include "util/rng.hh"
+
+#include <cmath>
+#include <numbers>
+
+namespace chopin
+{
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state(0), inc((stream << 1u) | 1u)
+{
+    next();
+    state += seed;
+    next();
+}
+
+std::uint32_t
+Rng::next()
+{
+    std::uint64_t old = state;
+    state = old * 6364136223846793005ULL + inc;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint32_t
+Rng::nextBounded(std::uint32_t bound)
+{
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+    std::uint32_t l = static_cast<std::uint32_t>(m);
+    if (l < bound) {
+        std::uint32_t t = -bound % bound;
+        while (l < t) {
+            m = static_cast<std::uint64_t>(next()) * bound;
+            l = static_cast<std::uint32_t>(m);
+        }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+}
+
+std::uint32_t
+Rng::nextRange(std::uint32_t lo, std::uint32_t hi)
+{
+    return lo + nextBounded(hi - lo + 1);
+}
+
+float
+Rng::nextFloat()
+{
+    return static_cast<float>(next() >> 8) * (1.0f / 16777216.0f);
+}
+
+double
+Rng::nextDouble()
+{
+    std::uint64_t hi = next();
+    std::uint64_t lo = next();
+    std::uint64_t bits = (hi << 21) ^ lo; // 53 significant bits
+    return static_cast<double>(bits & ((1ULL << 53) - 1)) *
+           (1.0 / 9007199254740992.0);
+}
+
+float
+Rng::nextFloat(float lo, float hi)
+{
+    return lo + (hi - lo) * nextFloat();
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextNormal()
+{
+    // Box-Muller; guard against log(0).
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    if (u1 <= 0.0)
+        u1 = 1e-12;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double
+Rng::nextLogNormal(double mu, double sigma)
+{
+    return std::exp(mu + sigma * nextNormal());
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    double u = nextDouble();
+    if (u <= 0.0)
+        u = 1e-12;
+    return -mean * std::log(u);
+}
+
+} // namespace chopin

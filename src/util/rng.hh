@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the synthetic trace
+ * generator and the property-based test suites.
+ *
+ * A PCG32 generator is used instead of std::mt19937 because its output is
+ * specified (reproducible across standard libraries) and its state is small.
+ * All distribution helpers are implemented locally for the same
+ * reproducibility reason: std:: distributions are not bit-portable.
+ */
+
+#ifndef CHOPIN_UTIL_RNG_HH
+#define CHOPIN_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace chopin
+{
+
+/** PCG32 (XSH-RR 64/32) pseudo-random generator. */
+class Rng
+{
+  public:
+    /** Construct from a seed and an optional stream selector. */
+    explicit Rng(std::uint64_t seed, std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+    /** Next raw 32-bit value. */
+    std::uint32_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's method; bound > 0. */
+    std::uint32_t nextBounded(std::uint32_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::uint32_t nextRange(std::uint32_t lo, std::uint32_t hi);
+
+    /** Uniform float in [0, 1). */
+    float nextFloat();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform float in [lo, hi). */
+    float nextFloat(float lo, float hi);
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool nextBool(double p);
+
+    /** Standard normal variate (Box-Muller; consumes two raw draws). */
+    double nextNormal();
+
+    /** Log-normal variate: exp(mu + sigma * N(0,1)). */
+    double nextLogNormal(double mu, double sigma);
+
+    /** Exponential variate with given mean. */
+    double nextExponential(double mean);
+
+  private:
+    std::uint64_t state;
+    std::uint64_t inc;
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_UTIL_RNG_HH

@@ -1,0 +1,119 @@
+#include "util/vec.hh"
+
+namespace chopin
+{
+
+Mat4
+Mat4::identity()
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        r.m[i][i] = 1.0f;
+    return r;
+}
+
+Mat4
+Mat4::scale(float sx, float sy, float sz)
+{
+    Mat4 r;
+    r.m[0][0] = sx;
+    r.m[1][1] = sy;
+    r.m[2][2] = sz;
+    r.m[3][3] = 1.0f;
+    return r;
+}
+
+Mat4
+Mat4::translate(float tx, float ty, float tz)
+{
+    Mat4 r = identity();
+    r.m[3][0] = tx;
+    r.m[3][1] = ty;
+    r.m[3][2] = tz;
+    return r;
+}
+
+Mat4
+Mat4::rotateY(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians);
+    float s = std::sin(radians);
+    r.m[0][0] = c;
+    r.m[0][2] = -s;
+    r.m[2][0] = s;
+    r.m[2][2] = c;
+    return r;
+}
+
+Mat4
+Mat4::rotateX(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians);
+    float s = std::sin(radians);
+    r.m[1][1] = c;
+    r.m[1][2] = s;
+    r.m[2][1] = -s;
+    r.m[2][2] = c;
+    return r;
+}
+
+Mat4
+Mat4::perspective(float fovy_radians, float aspect, float z_near, float z_far)
+{
+    Mat4 r;
+    float f = 1.0f / std::tan(fovy_radians * 0.5f);
+    r.m[0][0] = f / aspect;
+    r.m[1][1] = f;
+    r.m[2][2] = (z_far + z_near) / (z_near - z_far);
+    r.m[2][3] = -1.0f;
+    r.m[3][2] = (2.0f * z_far * z_near) / (z_near - z_far);
+    return r;
+}
+
+Mat4
+Mat4::ortho(float left, float right, float bottom, float top, float z_near,
+            float z_far)
+{
+    Mat4 r = identity();
+    r.m[0][0] = 2.0f / (right - left);
+    r.m[1][1] = 2.0f / (top - bottom);
+    r.m[2][2] = -2.0f / (z_far - z_near);
+    r.m[3][0] = -(right + left) / (right - left);
+    r.m[3][1] = -(top + bottom) / (top - bottom);
+    r.m[3][2] = -(z_far + z_near) / (z_far - z_near);
+    return r;
+}
+
+Mat4
+Mat4::operator*(const Mat4 &o) const
+{
+    Mat4 r;
+    for (int c = 0; c < 4; ++c) {
+        for (int row = 0; row < 4; ++row) {
+            float acc = 0.0f;
+            for (int k = 0; k < 4; ++k)
+                acc += m[k][row] * o.m[c][k];
+            r.m[c][row] = acc;
+        }
+    }
+    return r;
+}
+
+Vec4
+transform(const Mat4 &mat, const Vec4 &v)
+{
+    Vec4 r;
+    r.x = mat.m[0][0] * v.x + mat.m[1][0] * v.y + mat.m[2][0] * v.z +
+          mat.m[3][0] * v.w;
+    r.y = mat.m[0][1] * v.x + mat.m[1][1] * v.y + mat.m[2][1] * v.z +
+          mat.m[3][1] * v.w;
+    r.z = mat.m[0][2] * v.x + mat.m[1][2] * v.y + mat.m[2][2] * v.z +
+          mat.m[3][2] * v.w;
+    r.w = mat.m[0][3] * v.x + mat.m[1][3] * v.y + mat.m[2][3] * v.z +
+          mat.m[3][3] * v.w;
+    return r;
+}
+
+} // namespace chopin

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Small fixed-size vector and matrix types used by the functional graphics
+ * pipeline. Only the operations the renderer needs are provided; this is not
+ * a general linear-algebra library.
+ */
+
+#ifndef CHOPIN_UTIL_VEC_HH
+#define CHOPIN_UTIL_VEC_HH
+
+#include <array>
+#include <cmath>
+
+namespace chopin
+{
+
+/** 2-component float vector (screen-space positions, texture coords). */
+struct Vec2
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    constexpr Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+};
+
+/** 3-component float vector (object-space positions, normals). */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+};
+
+/** 4-component float vector (homogeneous clip-space positions, colors). */
+struct Vec4
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+    float w = 0.0f;
+
+    constexpr Vec4() = default;
+    constexpr Vec4(float xx, float yy, float zz, float ww)
+        : x(xx), y(yy), z(zz), w(ww)
+    {}
+    constexpr Vec4(const Vec3 &v, float ww) : x(v.x), y(v.y), z(v.z), w(ww) {}
+
+    constexpr Vec4 operator+(const Vec4 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z, w + o.w};
+    }
+    constexpr Vec4 operator-(const Vec4 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z, w - o.w};
+    }
+    constexpr Vec4 operator*(float s) const
+    {
+        return {x * s, y * s, z * s, w * s};
+    }
+};
+
+constexpr float dot(const Vec3 &a, const Vec3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr float dot(const Vec4 &a, const Vec4 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z + a.w * b.w;
+}
+
+constexpr Vec3 cross(const Vec3 &a, const Vec3 &b)
+{
+    return {a.y * b.z - a.z * b.y,
+            a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+inline float length(const Vec3 &v) { return std::sqrt(dot(v, v)); }
+
+inline Vec3
+normalize(const Vec3 &v)
+{
+    float len = length(v);
+    return len > 0.0f ? v * (1.0f / len) : v;
+}
+
+/**
+ * Column-major 4x4 float matrix. m[c][r] is column c, row r, matching the
+ * OpenGL convention so that transform(M, v) = M * v.
+ */
+struct Mat4
+{
+    std::array<std::array<float, 4>, 4> m{};
+
+    /** Identity matrix. */
+    static Mat4 identity();
+
+    /** Uniform or per-axis scale. */
+    static Mat4 scale(float sx, float sy, float sz);
+
+    /** Translation. */
+    static Mat4 translate(float tx, float ty, float tz);
+
+    /** Rotation of @p radians around the Y axis. */
+    static Mat4 rotateY(float radians);
+
+    /** Rotation of @p radians around the X axis. */
+    static Mat4 rotateX(float radians);
+
+    /** Right-handed perspective projection (GL-style, z in [-w, w]). */
+    static Mat4 perspective(float fovy_radians, float aspect, float z_near,
+                            float z_far);
+
+    /** Orthographic projection. */
+    static Mat4 ortho(float left, float right, float bottom, float top,
+                      float z_near, float z_far);
+
+    Mat4 operator*(const Mat4 &o) const;
+};
+
+/** Transform a homogeneous point: result = M * v. */
+Vec4 transform(const Mat4 &m, const Vec4 &v);
+
+} // namespace chopin
+
+#endif // CHOPIN_UTIL_VEC_HH

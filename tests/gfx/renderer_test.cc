@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "gfx/renderer.hh"
+
+namespace chopin
+{
+namespace
+{
+
+/** A draw of two front-facing triangles filling most of the screen. */
+DrawInput
+bigQuadInput(std::vector<Triangle> &storage, RasterState state = {})
+{
+    storage.clear();
+    Triangle t1, t2;
+    Color c{0.5f, 0.5f, 0.5f, 1.0f};
+    // NDC clockwise => screen counter-clockwise (front-facing).
+    t1.v[0] = {{-0.9f, -0.9f, 0.0f}, c};
+    t1.v[1] = {{-0.9f, 0.9f, 0.0f}, c};
+    t1.v[2] = {{0.9f, -0.9f, 0.0f}, c};
+    t2.v[0] = {{0.9f, -0.9f, 0.0f}, c};
+    t2.v[1] = {{-0.9f, 0.9f, 0.0f}, c};
+    t2.v[2] = {{0.9f, 0.9f, 0.0f}, c};
+    storage.push_back(t1);
+    storage.push_back(t2);
+
+    DrawInput in;
+    in.triangles = storage;
+    in.mvp = Mat4::identity();
+    in.state = state;
+    in.draw_id = 1;
+    return in;
+}
+
+TEST(Renderer, UnfilteredRenderCoversTheQuad)
+{
+    Viewport vp{128, 128};
+    Surface surface(vp.width, vp.height);
+    std::vector<Triangle> tris;
+    DrawStats stats = renderDraw(surface, vp, bigQuadInput(tris));
+    EXPECT_EQ(stats.tris_in, 2u);
+    EXPECT_EQ(stats.tris_rasterized, 2u);
+    EXPECT_EQ(stats.tris_coarse_rejected, 0u);
+    // 0.9 NDC quad on 128px: ~115x115 pixels.
+    EXPECT_NEAR(static_cast<double>(stats.frags_written), 115.0 * 115.0,
+                300.0);
+}
+
+TEST(Renderer, TileFilterPartitionsFragments)
+{
+    Viewport vp{128, 128};
+    TileGrid grid(vp.width, vp.height, 2, 32);
+    std::vector<Triangle> tris;
+
+    std::uint64_t total = 0;
+    for (GpuId g = 0; g < 2; ++g) {
+        Surface surface(vp.width, vp.height);
+        DrawStats s = renderDraw(surface, vp, bigQuadInput(tris),
+                                 RenderFilter{&grid, g});
+        total += s.frags_written;
+    }
+    Surface all(vp.width, vp.height);
+    DrawStats full = renderDraw(all, vp, bigQuadInput(tris));
+    EXPECT_EQ(total, full.frags_written);
+}
+
+TEST(Renderer, CoarseRejectSkipsForeignTriangles)
+{
+    Viewport vp{256, 256};
+    TileGrid grid(vp.width, vp.height, 4, 64);
+    // A small triangle confined to the top-left tile (owner 0).
+    std::vector<Triangle> tris(1);
+    Color c{1, 0, 0, 1};
+    tris[0].v[0] = {{-0.95f, 0.95f, 0.0f}, c};
+    tris[0].v[1] = {{-0.95f, 0.80f, 0.0f}, c};
+    tris[0].v[2] = {{-0.80f, 0.95f, 0.0f}, c};
+    DrawInput in;
+    in.triangles = tris;
+    in.mvp = Mat4::identity();
+    in.draw_id = 0;
+    in.backface_cull = false;
+
+    Surface surface(vp.width, vp.height);
+    DrawStats owner = renderDraw(surface, vp, in, RenderFilter{&grid, 0});
+    DrawStats foreign = renderDraw(surface, vp, in, RenderFilter{&grid, 3});
+    EXPECT_EQ(owner.tris_rasterized, 1u);
+    EXPECT_GT(owner.frags_written, 0u);
+    EXPECT_EQ(foreign.tris_rasterized, 0u);
+    EXPECT_EQ(foreign.tris_coarse_rejected, 1u);
+    EXPECT_EQ(foreign.frags_generated, 0u);
+}
+
+TEST(Renderer, TouchedTilesTrackWrites)
+{
+    Viewport vp{256, 256};
+    TileGrid grid(vp.width, vp.height, 1, 64);
+    std::vector<std::uint8_t> touched(
+        static_cast<std::size_t>(grid.tileCount()), 0);
+    std::vector<Triangle> tris(1);
+    Color c{1, 1, 1, 1};
+    // Small triangle in the top-left tile only.
+    tris[0].v[0] = {{-0.95f, 0.95f, 0.0f}, c};
+    tris[0].v[1] = {{-0.95f, 0.85f, 0.0f}, c};
+    tris[0].v[2] = {{-0.85f, 0.95f, 0.0f}, c};
+    DrawInput in;
+    in.triangles = tris;
+    in.mvp = Mat4::identity();
+    in.backface_cull = false;
+
+    Surface surface(vp.width, vp.height);
+    renderDraw(surface, vp, in, RenderFilter{}, &touched, &grid);
+    int marked = 0;
+    for (std::uint8_t t : touched)
+        marked += t;
+    EXPECT_EQ(marked, 1);
+    EXPECT_EQ(touched[0], 1); // tile (0,0)
+}
+
+TEST(Renderer, OccludedDrawTouchesNoTiles)
+{
+    Viewport vp{128, 128};
+    TileGrid grid(vp.width, vp.height, 1, 64);
+    Surface surface(vp.width, vp.height);
+    std::vector<Triangle> tris;
+
+    // First draw fills the screen at depth 0.5 (NDC z=0).
+    renderDraw(surface, vp, bigQuadInput(tris));
+
+    // Second draw is strictly behind: every fragment early-fails.
+    std::vector<Triangle> behind_tris;
+    DrawInput behind = bigQuadInput(behind_tris);
+    for (Triangle &t : behind_tris)
+        for (int v = 0; v < 3; ++v)
+            t.v[v].pos.z = 0.5f;
+    behind.draw_id = 2;
+    std::vector<std::uint8_t> touched(
+        static_cast<std::size_t>(grid.tileCount()), 0);
+    DrawStats s = renderDraw(surface, vp, behind, RenderFilter{}, &touched,
+                             &grid);
+    EXPECT_EQ(s.frags_written, 0u);
+    EXPECT_GT(s.frags_early_fail, 0u);
+    for (std::uint8_t t : touched)
+        EXPECT_EQ(t, 0);
+}
+
+TEST(RendererDeath, TouchedTilesWithoutGridPanics)
+{
+    Viewport vp{64, 64};
+    Surface surface(vp.width, vp.height);
+    std::vector<Triangle> tris;
+    std::vector<std::uint8_t> touched(4, 0);
+    EXPECT_DEATH(renderDraw(surface, vp, bigQuadInput(tris), RenderFilter{},
+                            &touched, nullptr),
+                 "needs a tile grid");
+}
+
+} // namespace
+} // namespace chopin

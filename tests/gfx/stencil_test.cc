@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "gfx/surface.hh"
+#include "sfr/grouping.hh"
+#include "trace/generator.hh"
+
+namespace chopin
+{
+namespace
+{
+
+Fragment
+frag(int x, int y, float z = 0.5f)
+{
+    return {x, y, z, {1, 1, 1, 1}};
+}
+
+RasterState
+maskState(StencilOp op = StencilOp::Replace, std::uint8_t ref = 1)
+{
+    RasterState s;
+    s.depth_test = false;
+    s.stencil_test = true;
+    s.stencil_func = DepthFunc::Always;
+    s.stencil_ref = ref;
+    s.stencil_pass_op = op;
+    return s;
+}
+
+TEST(Stencil, ReplaceWritesReference)
+{
+    Surface s(4, 4);
+    DrawStats st;
+    s.applyFragment(frag(1, 1), maskState(StencilOp::Replace, 7), 0, 0.5f,
+                    st);
+    EXPECT_EQ(s.stencilAt(1, 1), 7);
+    EXPECT_EQ(s.stencilAt(0, 0), 0); // untouched pixels keep the clear value
+}
+
+TEST(Stencil, IncrementSaturates)
+{
+    Surface s(2, 2);
+    DrawStats st;
+    RasterState inc = maskState(StencilOp::Increment);
+    for (int i = 0; i < 300; ++i)
+        s.applyFragment(frag(0, 0), inc, 0, 0.5f, st);
+    EXPECT_EQ(s.stencilAt(0, 0), 255);
+}
+
+TEST(Stencil, DecrementSaturatesAtZero)
+{
+    Surface s(2, 2);
+    DrawStats st;
+    s.applyFragment(frag(0, 0), maskState(StencilOp::Decrement), 0, 0.5f,
+                    st);
+    EXPECT_EQ(s.stencilAt(0, 0), 0);
+}
+
+TEST(Stencil, EqualFuncMasksDrawing)
+{
+    Surface s(4, 1);
+    DrawStats st;
+    // Mask only pixel (1,0) with value 1.
+    s.applyFragment(frag(1, 0), maskState(), 0, 0.5f, st);
+
+    // Decal: draws only where stencil == 1.
+    RasterState decal;
+    decal.depth_test = false;
+    decal.stencil_test = true;
+    decal.stencil_func = DepthFunc::Equal;
+    decal.stencil_ref = 1;
+    decal.stencil_pass_op = StencilOp::Keep;
+    DrawStats decal_stats;
+    for (int x = 0; x < 4; ++x)
+        s.applyFragment(frag(x, 0), decal, 1, 0.5f, decal_stats);
+    EXPECT_EQ(decal_stats.frags_early_pass, 1u);
+    EXPECT_EQ(decal_stats.frags_early_fail, 3u);
+    EXPECT_EQ(s.writerAt(1, 0), 1u);
+    EXPECT_NE(s.writerAt(0, 0), 1u);
+}
+
+TEST(Stencil, FailingFragmentLeavesStencilUnchanged)
+{
+    Surface s(2, 2);
+    DrawStats st;
+    RasterState never = maskState(StencilOp::Replace, 9);
+    never.stencil_func = DepthFunc::Never;
+    s.applyFragment(frag(0, 0), never, 0, 0.5f, st);
+    EXPECT_EQ(s.stencilAt(0, 0), 0);
+    EXPECT_EQ(st.frags_early_fail, 1u);
+}
+
+TEST(Stencil, DepthFailSkipsStencilUpdate)
+{
+    Surface s(2, 2);
+    DrawStats st;
+    RasterState opaque;
+    s.applyFragment(frag(0, 0, 0.2f), opaque, 0, 0.5f, st); // occluder
+    RasterState both = maskState(StencilOp::Replace, 5);
+    both.depth_test = true; // behind the occluder
+    DrawStats st2;
+    s.applyFragment(frag(0, 0, 0.9f), both, 1, 0.5f, st2);
+    EXPECT_EQ(st2.frags_early_fail, 1u);
+    EXPECT_EQ(s.stencilAt(0, 0), 0); // keep-on-fail
+}
+
+TEST(Stencil, ClearResetsStencil)
+{
+    Surface s(2, 2);
+    DrawStats st;
+    s.applyFragment(frag(0, 0), maskState(StencilOp::Replace, 3), 0, 0.5f,
+                    st);
+    s.clear({0, 0, 0, 0}, 1.0f);
+    EXPECT_EQ(s.stencilAt(0, 0), 0);
+}
+
+TEST(Stencil, CompareTruthTable)
+{
+    EXPECT_TRUE(stencilCompare(DepthFunc::Equal, 3, 3));
+    EXPECT_FALSE(stencilCompare(DepthFunc::Equal, 3, 4));
+    EXPECT_TRUE(stencilCompare(DepthFunc::Less, 2, 3));
+    EXPECT_TRUE(stencilCompare(DepthFunc::GreaterEqual, 3, 3));
+    EXPECT_FALSE(stencilCompare(DepthFunc::Never, 0, 0));
+    EXPECT_TRUE(stencilCompare(DepthFunc::Always, 0, 200));
+}
+
+// ---- Integration with grouping and the generator ---------------------------
+
+TEST(Stencil, StateChangeOpensGroupBoundary)
+{
+    FrameTrace t;
+    t.viewport = {64, 64};
+    for (int i = 0; i < 3; ++i) {
+        DrawCommand d;
+        d.id = static_cast<DrawId>(i);
+        d.triangles.resize(10);
+        if (i == 1) {
+            d.state.stencil_test = true;
+            d.state.stencil_func = DepthFunc::Equal;
+            d.state.stencil_ref = 1;
+        }
+        t.draws.push_back(std::move(d));
+    }
+    auto groups = formGroups(t);
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[1].opened_by, BoundaryEvent::DepthFunc);
+    EXPECT_TRUE(groups[1].stencil_test);
+}
+
+TEST(Stencil, StencilGroupsFallBackToDuplication)
+{
+    CompositionGroup g;
+    g.triangles = 1 << 20;
+    g.stencil_test = true;
+    EXPECT_FALSE(groupDistributable(g, 4096));
+    g.stencil_test = false;
+    EXPECT_TRUE(groupDistributable(g, 4096));
+}
+
+TEST(Stencil, GeneratorEmitsStencilDraws)
+{
+    FrameTrace t = generateBenchmark("mirror", 8);
+    int masks = 0, decals = 0;
+    for (const DrawCommand &d : t.draws) {
+        if (!d.state.stencil_test)
+            continue;
+        if (d.state.stencil_pass_op == StencilOp::Replace)
+            ++masks;
+        else if (d.state.stencil_func == DepthFunc::Equal)
+            ++decals;
+    }
+    EXPECT_GE(masks, 1);
+    EXPECT_GE(decals, 1);
+}
+
+} // namespace
+} // namespace chopin

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "gfx/surface.hh"
+
+namespace chopin
+{
+namespace
+{
+
+Fragment
+frag(int x, int y, float z, Color c = {1, 1, 1, 1})
+{
+    return {x, y, z, c};
+}
+
+RasterState
+opaqueState(DepthFunc func = DepthFunc::LessEqual)
+{
+    RasterState s;
+    s.depth_func = func;
+    return s;
+}
+
+TEST(Surface, ClearResetsEverything)
+{
+    Surface s(4, 4);
+    DrawStats stats;
+    s.applyFragment(frag(1, 1, 0.5f), opaqueState(), 7, 0.5f, stats);
+    s.clear({0, 0, 0, 0}, 1.0f);
+    EXPECT_FALSE(s.writtenAt(1, 1));
+    EXPECT_EQ(s.writerAt(1, 1), noWriter);
+    EXPECT_FLOAT_EQ(s.depthAt(1, 1), 1.0f);
+}
+
+TEST(Surface, OpaqueWriteUpdatesAllBuffers)
+{
+    Surface s(4, 4);
+    DrawStats stats;
+    s.applyFragment(frag(2, 3, 0.25f, {0.5f, 0.25f, 0.75f, 0.5f}),
+                    opaqueState(), 9, 0.5f, stats);
+    EXPECT_TRUE(s.writtenAt(2, 3));
+    EXPECT_EQ(s.writerAt(2, 3), 9u);
+    EXPECT_FLOAT_EQ(s.depthAt(2, 3), 0.25f);
+    EXPECT_FLOAT_EQ(s.color().at(2, 3).a, 1.0f); // opaque forces alpha 1
+    EXPECT_EQ(stats.frags_early_pass, 1u);
+    EXPECT_EQ(stats.frags_written, 1u);
+}
+
+/** Depth-function truth table at the fragment level. */
+struct DepthCase
+{
+    DepthFunc func;
+    bool pass_closer;
+    bool pass_equal;
+    bool pass_farther;
+};
+
+class DepthFuncTest : public ::testing::TestWithParam<DepthCase>
+{
+};
+
+TEST_P(DepthFuncTest, FragmentPassMatchesFunction)
+{
+    DepthCase c = GetParam();
+    auto passes = [&](float z_new) {
+        Surface s(2, 2);
+        DrawStats st;
+        s.applyFragment(frag(0, 0, 0.5f), opaqueState(DepthFunc::Always), 0,
+                        0.5f, st);
+        DrawStats st2;
+        s.applyFragment(frag(0, 0, z_new), opaqueState(c.func), 1, 0.5f,
+                        st2);
+        return s.writerAt(0, 0) == 1u;
+    };
+    EXPECT_EQ(passes(0.25f), c.pass_closer) << toString(c.func);
+    EXPECT_EQ(passes(0.5f), c.pass_equal) << toString(c.func);
+    EXPECT_EQ(passes(0.75f), c.pass_farther) << toString(c.func);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFuncs, DepthFuncTest,
+    ::testing::Values(DepthCase{DepthFunc::Never, false, false, false},
+                      DepthCase{DepthFunc::Less, true, false, false},
+                      DepthCase{DepthFunc::Equal, false, true, false},
+                      DepthCase{DepthFunc::LessEqual, true, true, false},
+                      DepthCase{DepthFunc::Greater, false, false, true},
+                      DepthCase{DepthFunc::NotEqual, true, false, true},
+                      DepthCase{DepthFunc::GreaterEqual, false, true, true},
+                      DepthCase{DepthFunc::Always, true, true, true}),
+    [](const auto &info) { return toString(info.param.func); });
+
+TEST(Surface, EarlyZCullsBeforeShading)
+{
+    Surface s(2, 2);
+    DrawStats st;
+    s.applyFragment(frag(0, 0, 0.2f), opaqueState(), 0, 0.5f, st);
+    DrawStats st2;
+    s.applyFragment(frag(0, 0, 0.8f), opaqueState(), 1, 0.5f, st2);
+    EXPECT_EQ(st2.frags_early_fail, 1u);
+    EXPECT_EQ(st2.frags_shaded, 0u); // culled fragments are never shaded
+}
+
+TEST(Surface, ShaderDiscardForcesLateZ)
+{
+    Surface s(2, 2);
+    DrawStats st;
+    s.applyFragment(frag(0, 0, 0.2f), opaqueState(), 0, 0.5f, st);
+    RasterState late = opaqueState();
+    late.shader_discard = true;
+    DrawStats st2;
+    s.applyFragment(frag(0, 0, 0.8f, {1, 1, 1, 0.9f}), late, 1, 0.5f, st2);
+    EXPECT_EQ(st2.frags_early_fail, 0u);
+    EXPECT_EQ(st2.frags_shaded, 1u); // shaded despite being occluded
+    EXPECT_EQ(st2.frags_late_fail, 1u);
+    EXPECT_EQ(s.writerAt(0, 0), 0u);
+}
+
+TEST(Surface, AlphaTestDiscardsLowAlpha)
+{
+    Surface s(2, 2);
+    RasterState st = opaqueState();
+    st.shader_discard = true;
+    DrawStats stats;
+    s.applyFragment(frag(0, 0, 0.5f, {1, 1, 1, 0.2f}), st, 3, 0.5f, stats);
+    EXPECT_FALSE(s.writtenAt(0, 0));
+    EXPECT_EQ(stats.frags_shaded, 1u);
+    EXPECT_EQ(stats.frags_written, 0u);
+}
+
+TEST(Surface, DepthWriteDisabledKeepsDepth)
+{
+    Surface s(2, 2);
+    RasterState st = opaqueState();
+    st.depth_write = false;
+    DrawStats stats;
+    s.applyFragment(frag(0, 0, 0.25f), st, 0, 0.5f, stats);
+    EXPECT_TRUE(s.writtenAt(0, 0));
+    EXPECT_FLOAT_EQ(s.depthAt(0, 0), 1.0f); // unchanged
+}
+
+TEST(Surface, DepthTestDisabledAlwaysWrites)
+{
+    Surface s(2, 2);
+    RasterState st = opaqueState();
+    DrawStats stats;
+    s.applyFragment(frag(0, 0, 0.1f), st, 0, 0.5f, stats);
+    RasterState no_test = opaqueState();
+    no_test.depth_test = false;
+    DrawStats stats2;
+    s.applyFragment(frag(0, 0, 0.9f), no_test, 1, 0.5f, stats2);
+    EXPECT_EQ(s.writerAt(0, 0), 1u);
+    EXPECT_FLOAT_EQ(s.depthAt(0, 0), 0.1f); // no depth update either
+    EXPECT_EQ(stats2.frags_early_pass + stats2.frags_late_pass, 0u);
+}
+
+TEST(Blend, OverMatchesFormula)
+{
+    Color src{1.0f, 0.0f, 0.0f, 0.25f};
+    Color dst{0.0f, 1.0f, 0.0f, 1.0f};
+    Color out = blendPixel(BlendOp::Over, src, dst);
+    EXPECT_NEAR(out.r, 0.25f, 1e-6f);
+    EXPECT_NEAR(out.g, 0.75f, 1e-6f);
+    EXPECT_NEAR(out.a, 1.0f, 1e-6f);
+}
+
+TEST(Blend, AdditiveAccumulates)
+{
+    Color out = blendPixel(BlendOp::Additive, {0.5f, 0.5f, 0.5f, 0.5f},
+                           {0.2f, 0.2f, 0.2f, 1.0f});
+    EXPECT_NEAR(out.r, 0.45f, 1e-6f);
+}
+
+TEST(Blend, MultiplyModulates)
+{
+    Color out = blendPixel(BlendOp::Multiply, {0.5f, 1.0f, 0.0f, 1.0f},
+                           {0.8f, 0.5f, 0.9f, 1.0f});
+    EXPECT_NEAR(out.r, 0.4f, 1e-6f);
+    EXPECT_NEAR(out.g, 0.5f, 1e-6f);
+    EXPECT_NEAR(out.b, 0.0f, 1e-6f);
+}
+
+} // namespace
+} // namespace chopin

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpu/pipeline.hh"
+
+namespace chopin
+{
+namespace
+{
+
+/** Simple stats with controllable stage costs. */
+DrawStats
+statsOf(std::uint64_t tris, std::uint64_t frags = 0)
+{
+    DrawStats s;
+    s.tris_in = tris;
+    s.verts_shaded = 3 * tris;
+    s.tris_rasterized = tris;
+    s.frags_generated = frags;
+    s.frags_early_pass = frags;
+    s.frags_shaded = frags;
+    s.frags_written = frags;
+    return s;
+}
+
+TEST(Timing, GeometryCyclesFormula)
+{
+    TimingParams p;
+    DrawStats s = statsOf(1024);
+    Tick expected =
+        p.draw_setup_cycles +
+        static_cast<Tick>(std::ceil(3 * 1024 * p.vert_shader_ops /
+                                        p.shader_lanes +
+                                    1024 / p.tri_setup_rate));
+    EXPECT_EQ(p.geometryCycles(s), expected);
+}
+
+TEST(Timing, FragmentCyclesScaleWithShadedFragments)
+{
+    TimingParams p;
+    Tick small = p.fragmentCycles(statsOf(10, 1000));
+    Tick big = p.fragmentCycles(statsOf(10, 10000));
+    EXPECT_GT(big, small * 8);
+}
+
+TEST(Timing, CoarseRejectIsCheaperThanTraversal)
+{
+    TimingParams p;
+    DrawStats traverse = statsOf(1000);
+    DrawStats reject;
+    reject.tris_coarse_rejected = 1000;
+    EXPECT_GT(p.rasterCycles(traverse), p.rasterCycles(reject));
+}
+
+TEST(Pipeline, SingleDrawLatencyIsSumOfStages)
+{
+    TimingParams p;
+    p.batch_tris = 1 << 20; // one batch
+    GpuPipeline pipe(p);
+    DrawStats s = statsOf(100, 500);
+    Tick done = pipe.submitDraw(0, s, 0);
+    EXPECT_EQ(done, p.geometryCycles(s) + p.rasterCycles(s) +
+                        p.fragmentCycles(s));
+}
+
+TEST(Pipeline, BatchingOverlapsStages)
+{
+    TimingParams p;
+    p.batch_tris = 64;
+    GpuPipeline mono(p);
+    TimingParams p1 = p;
+    p1.batch_tris = 1 << 20;
+    GpuPipeline single(p1);
+    DrawStats s = statsOf(4096, 100000);
+    Tick batched = mono.submitDraw(0, s, 0);
+    Tick unbatched = single.submitDraw(0, s, 0);
+    EXPECT_LT(batched, unbatched); // pipelining shortens latency
+}
+
+TEST(Pipeline, BackToBackDrawsShareStages)
+{
+    TimingParams p;
+    GpuPipeline pipe(p);
+    DrawStats s = statsOf(512, 2000);
+    Tick first = pipe.submitDraw(0, s, 0);
+    Tick second = pipe.submitDraw(1, s, 0);
+    EXPECT_GT(second, first);
+    // The second draw overlaps the first (starts in geometry while the
+    // first is in later stages), so it finishes earlier than serial.
+    EXPECT_LT(second, 2 * first);
+}
+
+TEST(Pipeline, IssueTimeDelaysWork)
+{
+    TimingParams p;
+    GpuPipeline pipe(p);
+    DrawStats s = statsOf(64);
+    Tick at_zero = pipe.submitDraw(0, s, 0);
+    GpuPipeline pipe2(p);
+    Tick delayed = pipe2.submitDraw(0, s, 1000);
+    EXPECT_EQ(delayed, at_zero + 1000);
+}
+
+TEST(Pipeline, ProcessedTrisProgressesMonotonically)
+{
+    TimingParams p;
+    p.batch_tris = 128;
+    GpuPipeline pipe(p);
+    pipe.submitDraw(0, statsOf(1000), 0);
+    EXPECT_EQ(pipe.processedTrisAt(0), 0u);
+    Tick end = pipe.finishTime();
+    EXPECT_EQ(pipe.processedTrisAt(end), 1000u);
+    std::uint64_t prev = 0;
+    for (Tick t = 0; t <= end; t += end / 20 + 1) {
+        std::uint64_t now = pipe.processedTrisAt(t);
+        EXPECT_GE(now, prev);
+        prev = now;
+    }
+    // Mid-way, some but not all triangles are processed (batching).
+    EXPECT_GT(pipe.processedTrisAt(end / 2), 0u);
+}
+
+TEST(Pipeline, BusyTimesAccumulate)
+{
+    TimingParams p;
+    GpuPipeline pipe(p);
+    DrawStats s = statsOf(256, 1000);
+    pipe.submitDraw(0, s, 0);
+    EXPECT_EQ(pipe.geomBusy(), p.geometryCycles(s));
+    EXPECT_EQ(pipe.rasterBusy(), p.rasterCycles(s));
+    EXPECT_EQ(pipe.fragBusy(), p.fragmentCycles(s));
+}
+
+TEST(Pipeline, GeometryWorkCompetesWithDraws)
+{
+    TimingParams p;
+    GpuPipeline pipe(p);
+    Tick w = pipe.submitGeometryWork(0, 5000);
+    EXPECT_EQ(w, 5000u);
+    DrawStats s = statsOf(64);
+    Tick done = pipe.submitDraw(0, s, 0);
+    // The draw's geometry cannot start before the projection work ends.
+    EXPECT_GE(done, 5000u);
+}
+
+TEST(Pipeline, TimingRecordsKeptPerDraw)
+{
+    TimingParams p;
+    GpuPipeline pipe(p);
+    pipe.submitDraw(7, statsOf(100), 0);
+    pipe.submitDraw(9, statsOf(200), 50);
+    ASSERT_EQ(pipe.drawTimings().size(), 2u);
+    EXPECT_EQ(pipe.drawTimings()[0].id, 7u);
+    EXPECT_EQ(pipe.drawTimings()[1].id, 9u);
+    EXPECT_EQ(pipe.drawTimings()[1].tris, 200u);
+    EXPECT_GT(pipe.drawTimings()[0].geom_cycles, 0u);
+}
+
+TEST(Pipeline, ResetClearsState)
+{
+    TimingParams p;
+    GpuPipeline pipe(p);
+    pipe.submitDraw(0, statsOf(100), 0);
+    pipe.reset();
+    EXPECT_EQ(pipe.finishTime(), 0u);
+    EXPECT_EQ(pipe.submittedTris(), 0u);
+    EXPECT_EQ(pipe.geomBusy(), 0u);
+    EXPECT_TRUE(pipe.drawTimings().empty());
+}
+
+} // namespace
+} // namespace chopin

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "sfr/afr.hh"
+#include "trace/generator.hh"
+
+namespace chopin
+{
+namespace
+{
+
+std::vector<FrameTrace>
+frameSequence(int count)
+{
+    std::vector<FrameTrace> frames;
+    BenchmarkProfile p = scaleProfile(benchmarkProfile("wolf"), 16);
+    for (int f = 0; f < count; ++f) {
+        BenchmarkProfile pf = p;
+        pf.seed += static_cast<std::uint64_t>(f);
+        frames.push_back(generateTrace(pf));
+    }
+    return frames;
+}
+
+TEST(Afr, PureSfrIsSingleGroup)
+{
+    auto frames = frameSequence(3);
+    SystemConfig cfg;
+    cfg.num_gpus = 8;
+    AfrResult r = runAfr(cfg, frames, 1);
+    EXPECT_EQ(r.afr_groups, 1u);
+    EXPECT_EQ(r.gpus_per_group, 8u);
+    ASSERT_EQ(r.frame_latency.size(), 3u);
+    // One group: frames serialize; makespan is the sum of latencies.
+    Tick sum = 0;
+    for (Tick t : r.frame_latency)
+        sum += t;
+    EXPECT_EQ(r.makespan, sum);
+}
+
+TEST(Afr, PureAfrPipelinesFrames)
+{
+    auto frames = frameSequence(4);
+    SystemConfig cfg;
+    cfg.num_gpus = 4;
+    AfrResult r = runAfr(cfg, frames, 4);
+    EXPECT_EQ(r.gpus_per_group, 1u);
+    // Four single-GPU groups render four frames concurrently: the makespan
+    // is the slowest frame, not the sum.
+    Tick max_latency = 0, sum = 0;
+    for (Tick t : r.frame_latency) {
+        max_latency = std::max(max_latency, t);
+        sum += t;
+    }
+    EXPECT_EQ(r.makespan, max_latency);
+    EXPECT_LT(r.makespan, sum);
+}
+
+TEST(Afr, MicroStutterTradeoff)
+{
+    // The paper's motivation: AFR raises throughput (smaller average frame
+    // interval) but leaves single-frame latency at small-group levels.
+    auto frames = frameSequence(8);
+    SystemConfig cfg;
+    cfg.num_gpus = 8;
+    AfrResult sfr = runAfr(cfg, frames, 1);
+    AfrResult afr = runAfr(cfg, frames, 8);
+    EXPECT_LT(afr.avgFrameInterval(), sfr.avgFrameInterval());
+    EXPECT_LT(sfr.avgLatency(), afr.avgLatency());
+}
+
+TEST(Afr, FramesRoundRobinAcrossGroups)
+{
+    auto frames = frameSequence(4);
+    SystemConfig cfg;
+    cfg.num_gpus = 4;
+    AfrResult r = runAfr(cfg, frames, 2);
+    // Frames 0,2 -> group 0; 1,3 -> group 1: frame 2 completes after 0.
+    EXPECT_GT(r.frame_complete[2], r.frame_complete[0]);
+    EXPECT_GT(r.frame_complete[3], r.frame_complete[1]);
+}
+
+TEST(AfrDeath, IndivisibleGroupCountPanics)
+{
+    auto frames = frameSequence(1);
+    SystemConfig cfg;
+    cfg.num_gpus = 8;
+    EXPECT_DEATH(runAfr(cfg, frames, 3), "not divisible");
+}
+
+} // namespace
+} // namespace chopin

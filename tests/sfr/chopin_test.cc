@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "sfr/grouping.hh"
+#include "sfr/schemes.hh"
+#include "trace/generator.hh"
+
+namespace chopin
+{
+namespace
+{
+
+const FrameTrace &
+testTrace()
+{
+    static FrameTrace trace = generateBenchmark("mirror", 16);
+    return trace;
+}
+
+TEST(Chopin, ThresholdControlsDistributedTriangleCoverage)
+{
+    SystemConfig cfg;
+    cfg.num_gpus = 8;
+    std::uint64_t prev_tris = ~0ull;
+    for (std::uint64_t threshold : {64ull, 1024ull, 16384ull}) {
+        cfg.group_threshold = threshold;
+        FrameResult r = runChopin(cfg, testTrace(),
+                                  {DrawPolicy::FewestRemaining, true, false});
+        EXPECT_LE(r.tris_distributed, prev_tris) << threshold;
+        prev_tris = r.tris_distributed;
+    }
+}
+
+TEST(Chopin, GroupSizesAreBimodal)
+{
+    // The Fig. 22 insight: most triangles live in a few big groups, so a
+    // wide range of thresholds separates object groups from state-change
+    // groups.
+    auto groups = formGroups(testTrace());
+    std::uint64_t total = testTrace().totalTriangles();
+    std::uint64_t in_big_groups = 0;
+    std::uint64_t big_groups = 0;
+    for (const CompositionGroup &g : groups) {
+        if (g.triangles >= 256) {
+            in_big_groups += g.triangles;
+            big_groups += 1;
+        }
+    }
+    EXPECT_LT(big_groups, groups.size()); // some small groups exist
+    EXPECT_GT(static_cast<double>(in_big_groups),
+              0.80 * static_cast<double>(total));
+}
+
+TEST(Chopin, CompositionTrafficScalesDownWithThreshold)
+{
+    SystemConfig cfg;
+    cfg.num_gpus = 8;
+    cfg.group_threshold = 64;
+    FrameResult lo = runChopin(cfg, testTrace(),
+                               {DrawPolicy::FewestRemaining, true, false});
+    cfg.group_threshold = ~0ull;
+    FrameResult hi = runChopin(cfg, testTrace(),
+                               {DrawPolicy::FewestRemaining, true, false});
+    EXPECT_GT(lo.traffic.ofClass(TrafficClass::Composition),
+              hi.traffic.ofClass(TrafficClass::Composition));
+    EXPECT_EQ(hi.traffic.ofClass(TrafficClass::Composition), 0u);
+}
+
+TEST(Chopin, SchedulerTrafficIsTiny)
+{
+    // Section VI-D: with per-triangle updates the scheduler moves ~4B per
+    // triangle (the paper's 1.7MB average); at 1024-triangle granularity
+    // the traffic becomes negligible next to composition payloads.
+    SystemConfig cfg;
+    cfg.num_gpus = 8;
+    FrameResult fine = runChopin(cfg, testTrace(),
+                                 {DrawPolicy::FewestRemaining, true, false});
+    EXPECT_GT(fine.sched_status_bytes, 0u);
+    // Bounded by 4B per triangle per GPU (duplicated groups report from
+    // every GPU) plus per-draw messages.
+    EXPECT_LT(fine.sched_status_bytes,
+              4 * (cfg.num_gpus + 1) * testTrace().totalTriangles());
+
+    cfg.sched_update_tris = 1024;
+    FrameResult coarse = runChopin(
+        cfg, testTrace(), {DrawPolicy::FewestRemaining, true, false});
+    EXPECT_LT(coarse.sched_status_bytes,
+              coarse.traffic.ofClass(TrafficClass::Composition) / 10);
+}
+
+TEST(Chopin, LargerUpdateIntervalReducesSchedulerTraffic)
+{
+    SystemConfig cfg;
+    cfg.num_gpus = 8;
+    cfg.sched_update_tris = 1;
+    FrameResult fine = runChopin(cfg, testTrace(),
+                                 {DrawPolicy::FewestRemaining, true, false});
+    cfg.sched_update_tris = 1024;
+    FrameResult coarse = runChopin(
+        cfg, testTrace(), {DrawPolicy::FewestRemaining, true, false});
+    EXPECT_LT(coarse.sched_status_bytes, fine.sched_status_bytes);
+}
+
+TEST(Chopin, IdealLinksMoveTheSameBytes)
+{
+    // Idealization changes timing only, not what is communicated.
+    SystemConfig cfg;
+    cfg.num_gpus = 8;
+    FrameResult real = runChopin(cfg, testTrace(),
+                                 {DrawPolicy::FewestRemaining, true, false});
+    FrameResult ideal = runChopin(cfg, testTrace(),
+                                  {DrawPolicy::FewestRemaining, true, true});
+    EXPECT_EQ(real.traffic.ofClass(TrafficClass::Composition),
+              ideal.traffic.ofClass(TrafficClass::Composition));
+}
+
+TEST(Chopin, MoreGpusMeansMoreExtraFragments)
+{
+    // Fig. 15's trend: 3% / 5.4% / 7.1% extra at 2 / 4 / 8 GPUs — the more
+    // GPUs, the less cross-GPU occlusion each sub-image sees.
+    std::uint64_t prev = 0;
+    for (unsigned gpus : {2u, 4u, 8u}) {
+        SystemConfig cfg;
+        cfg.num_gpus = gpus;
+        FrameResult r = runChopin(cfg, testTrace(),
+                                  {DrawPolicy::FewestRemaining, true, false});
+        std::uint64_t pass =
+            r.totals.frags_early_pass + r.totals.frags_late_pass;
+        EXPECT_GE(pass, prev) << gpus;
+        prev = pass;
+    }
+}
+
+TEST(Chopin, SingleGpuChopinMatchesSingleGpuCycles)
+{
+    // With one GPU there is no communication, but CHOPIN still renders
+    // distributed groups into a sub-image and merges it into the frame
+    // (the ROP read/merge work) — so it trails the plain pipeline by that
+    // merge cost and nothing more.
+    SystemConfig cfg;
+    cfg.num_gpus = 1;
+    FrameResult single = runSingleGpu(cfg, testTrace());
+    FrameResult chopin = runChopin(cfg, testTrace(),
+                                   {DrawPolicy::FewestRemaining, true, false});
+    EXPECT_EQ(chopin.traffic.total, 0u);
+    EXPECT_GE(chopin.cycles, single.cycles);
+    EXPECT_LT(static_cast<double>(chopin.cycles),
+              1.30 * static_cast<double>(single.cycles));
+}
+
+TEST(Chopin, BreakdownBucketsArePopulated)
+{
+    SystemConfig cfg;
+    cfg.num_gpus = 8;
+    FrameResult r = runChopin(cfg, testTrace(),
+                              {DrawPolicy::FewestRemaining, true, false});
+    EXPECT_GT(r.breakdown.composition, 0u);
+    EXPECT_GT(r.breakdown.normal_pipeline, 0u);
+    EXPECT_EQ(r.breakdown.prim_distribution, 0u); // GPUpd-only bucket
+    EXPECT_EQ(r.breakdown.prim_projection, 0u);
+}
+
+} // namespace
+} // namespace chopin

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "sfr/grouping.hh"
+
+namespace chopin
+{
+namespace
+{
+
+/** Build a trace skeleton with the given per-draw states and 100 tris. */
+FrameTrace
+traceOf(const std::vector<RasterState> &states,
+        std::uint64_t tris_each = 100)
+{
+    FrameTrace t;
+    t.viewport = {256, 256};
+    t.num_render_targets = 4;
+    t.num_depth_buffers = 4;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        DrawCommand d;
+        d.id = static_cast<DrawId>(i);
+        d.state = states[i];
+        d.triangles.resize(tris_each);
+        t.draws.push_back(std::move(d));
+    }
+    return t;
+}
+
+RasterState
+base()
+{
+    return RasterState{};
+}
+
+TEST(Grouping, UniformStateIsOneGroup)
+{
+    FrameTrace t = traceOf({base(), base(), base(), base()});
+    auto groups = formGroups(t);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].first_draw, 0u);
+    EXPECT_EQ(groups[0].last_draw, 3u);
+    EXPECT_EQ(groups[0].triangles, 400u);
+    EXPECT_EQ(groups[0].opened_by, BoundaryEvent::FrameStart);
+}
+
+TEST(Grouping, Event2RenderTargetSwitch)
+{
+    RasterState rt1 = base();
+    rt1.render_target = 1;
+    rt1.depth_buffer = 1;
+    FrameTrace t = traceOf({base(), rt1, rt1, base()});
+    auto groups = formGroups(t);
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[1].opened_by, BoundaryEvent::RenderTarget);
+    EXPECT_EQ(groups[2].opened_by, BoundaryEvent::RenderTarget);
+    EXPECT_EQ(groups[1].render_target, 1u);
+}
+
+TEST(Grouping, Event2DepthBufferOnlySwitch)
+{
+    RasterState db = base();
+    db.depth_buffer = 2;
+    FrameTrace t = traceOf({base(), db});
+    auto groups = formGroups(t);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[1].opened_by, BoundaryEvent::RenderTarget);
+}
+
+TEST(Grouping, Event3DepthWriteToggle)
+{
+    RasterState ro = base();
+    ro.depth_write = false;
+    FrameTrace t = traceOf({base(), ro, base()});
+    auto groups = formGroups(t);
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[1].opened_by, BoundaryEvent::DepthWrite);
+    EXPECT_FALSE(groups[1].depth_write);
+}
+
+TEST(Grouping, Event4DepthFuncChange)
+{
+    RasterState gr = base();
+    gr.depth_func = DepthFunc::GreaterEqual;
+    FrameTrace t = traceOf({base(), gr});
+    auto groups = formGroups(t);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[1].opened_by, BoundaryEvent::DepthFunc);
+}
+
+TEST(Grouping, Event5BlendOpChange)
+{
+    RasterState over = base();
+    over.blend_op = BlendOp::Over;
+    over.depth_write = false;
+    over.depth_test = false;
+    RasterState add = over;
+    add.blend_op = BlendOp::Additive;
+    FrameTrace t = traceOf({base(), over, add});
+    auto groups = formGroups(t);
+    ASSERT_EQ(groups.size(), 3u);
+    // The opaque->over boundary trips on the depth-write/test change first;
+    // the over->additive boundary is a pure blend-operator change.
+    EXPECT_EQ(groups[2].opened_by, BoundaryEvent::BlendOp);
+    EXPECT_TRUE(groups[1].transparent());
+    EXPECT_TRUE(groups[2].transparent());
+}
+
+TEST(Grouping, GroupsPartitionTheFrame)
+{
+    RasterState rt1 = base();
+    rt1.render_target = 1;
+    RasterState over = base();
+    over.blend_op = BlendOp::Over;
+    FrameTrace t =
+        traceOf({base(), base(), rt1, rt1, base(), over, over, over});
+    auto groups = formGroups(t);
+    std::uint32_t next = 0;
+    for (const CompositionGroup &g : groups) {
+        EXPECT_EQ(g.first_draw, next);
+        EXPECT_LE(g.first_draw, g.last_draw);
+        next = g.last_draw + 1;
+    }
+    EXPECT_EQ(next, t.draws.size());
+}
+
+TEST(Grouping, EmptyTraceHasNoGroups)
+{
+    FrameTrace t;
+    EXPECT_TRUE(formGroups(t).empty());
+}
+
+// ---- Distribution policy (Fig. 7) -----------------------------------------
+
+CompositionGroup
+groupWith(std::uint64_t tris, BlendOp op = BlendOp::Opaque,
+          DepthFunc func = DepthFunc::LessEqual, bool depth_test = true,
+          bool depth_write = true)
+{
+    CompositionGroup g;
+    g.triangles = tris;
+    g.blend_op = op;
+    g.depth_func = func;
+    g.depth_test = depth_test;
+    g.depth_write = depth_write;
+    return g;
+}
+
+TEST(Distributable, SmallGroupsFallBackToDuplication)
+{
+    EXPECT_FALSE(groupDistributable(groupWith(4095), 4096));
+    EXPECT_TRUE(groupDistributable(groupWith(4096), 4096));
+}
+
+TEST(Distributable, ThresholdIsConfigurable)
+{
+    EXPECT_TRUE(groupDistributable(groupWith(300), 256));
+    EXPECT_FALSE(groupDistributable(groupWith(300), 16384));
+}
+
+TEST(Distributable, DepthReadOnlyGroupsFallBack)
+{
+    EXPECT_FALSE(groupDistributable(
+        groupWith(100000, BlendOp::Opaque, DepthFunc::LessEqual, true,
+                  false),
+        4096));
+}
+
+TEST(Distributable, NonComposableDepthFuncsFallBack)
+{
+    EXPECT_FALSE(groupDistributable(
+        groupWith(100000, BlendOp::Opaque, DepthFunc::Equal), 4096));
+    EXPECT_FALSE(groupDistributable(
+        groupWith(100000, BlendOp::Opaque, DepthFunc::NotEqual), 4096));
+    EXPECT_TRUE(groupDistributable(
+        groupWith(100000, BlendOp::Opaque, DepthFunc::Greater), 4096));
+    EXPECT_TRUE(groupDistributable(
+        groupWith(100000, BlendOp::Opaque, DepthFunc::Always), 4096));
+}
+
+TEST(Distributable, DepthTestDisabledOpaqueIsDistributable)
+{
+    EXPECT_TRUE(groupDistributable(
+        groupWith(100000, BlendOp::Opaque, DepthFunc::Equal, false), 4096));
+}
+
+TEST(Distributable, TransparentWithoutDepthTestDistributes)
+{
+    EXPECT_TRUE(groupDistributable(
+        groupWith(100000, BlendOp::Over, DepthFunc::LessEqual, false,
+                  false),
+        4096));
+    // Depth-tested transparency needs the distributed depth buffer.
+    EXPECT_FALSE(groupDistributable(
+        groupWith(100000, BlendOp::Over, DepthFunc::LessEqual, true,
+                  false),
+        4096));
+}
+
+} // namespace
+} // namespace chopin

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "sfr/schemes.hh"
+#include "trace/generator.hh"
+
+namespace chopin
+{
+namespace
+{
+
+const FrameTrace &
+testTrace()
+{
+    static FrameTrace trace = generateBenchmark("grid", 16);
+    return trace;
+}
+
+FrameResult
+runWithPayload(CompPayload payload)
+{
+    SystemConfig cfg;
+    cfg.num_gpus = 8;
+    cfg.comp_payload = payload;
+    return runChopin(cfg, testTrace(),
+                     {DrawPolicy::FewestRemaining, true, false});
+}
+
+TEST(CompPayload, GranularityOrdersTraffic)
+{
+    FrameResult pixels = runWithPayload(CompPayload::WrittenPixels);
+    FrameResult subtiles = runWithPayload(CompPayload::SubTiles);
+    FrameResult tiles = runWithPayload(CompPayload::FullTiles);
+    Bytes a = pixels.traffic.ofClass(TrafficClass::Composition);
+    Bytes b = subtiles.traffic.ofClass(TrafficClass::Composition);
+    Bytes c = tiles.traffic.ofClass(TrafficClass::Composition);
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    // Coarser payloads can only slow the frame down.
+    EXPECT_LE(pixels.cycles, subtiles.cycles);
+    EXPECT_LE(subtiles.cycles, tiles.cycles);
+}
+
+TEST(CompPayload, GranularityNeverChangesTheImage)
+{
+    FrameResult pixels = runWithPayload(CompPayload::WrittenPixels);
+    FrameResult tiles = runWithPayload(CompPayload::FullTiles);
+    EXPECT_EQ(compareImages(pixels.image, tiles.image).differing_pixels, 0);
+}
+
+TEST(TileAssignmentInvariance, BlockedProducesTheSameImage)
+{
+    SystemConfig cfg;
+    cfg.num_gpus = 8;
+    FrameResult inter = runChopin(cfg, testTrace(),
+                                  {DrawPolicy::FewestRemaining, true,
+                                   false});
+    cfg.tile_assignment = TileAssignment::Blocked;
+    FrameResult blocked = runChopin(cfg, testTrace(),
+                                    {DrawPolicy::FewestRemaining, true,
+                                     false});
+    // Ownership only decides which GPU holds which pixels; the composed
+    // frame is identical.
+    EXPECT_EQ(compareImages(inter.image, blocked.image).differing_pixels,
+              0);
+    FrameResult dup_blocked = runDuplication(cfg, testTrace());
+    EXPECT_EQ(
+        compareImages(inter.image, dup_blocked.image).differing_pixels, 0);
+}
+
+TEST(CompPayload, Names)
+{
+    EXPECT_EQ(toString(CompPayload::WrittenPixels), "written-pixels");
+    EXPECT_EQ(toString(CompPayload::SubTiles), "8x8-subtiles");
+    EXPECT_EQ(toString(CompPayload::FullTiles), "full-tiles");
+}
+
+} // namespace
+} // namespace chopin

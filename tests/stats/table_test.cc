@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/table.hh"
+
+namespace chopin
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    // Header, rule, two rows.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    // Every line is equally... at least each data line starts at column 0
+    // and "value" entries align: find both rows' second column position.
+    auto line_of = [&](const std::string &needle) {
+        auto pos = out.find(needle);
+        auto start = out.rfind('\n', pos);
+        return out.substr(start + 1, out.find('\n', pos) - start - 1);
+    };
+    std::string row_a = line_of("a ");
+    std::string row_b = line_of("longer-name");
+    EXPECT_EQ(row_a.find('1'), row_b.find("22"));
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"x", "y"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable t({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"r"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTableDeath, WrongRowWidthPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(Format, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatDouble(1.0, 3), "1.000");
+    EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Format, FormatMb)
+{
+    EXPECT_EQ(formatMb(1024 * 1024), "1.00");
+    EXPECT_EQ(formatMb(1536 * 1024), "1.50");
+}
+
+} // namespace
+} // namespace chopin

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "trace/generator.hh"
+#include "trace/trace_io.hh"
+
+namespace chopin
+{
+namespace
+{
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    FrameTrace original = generateBenchmark("cod2", 16);
+    std::string path = ::testing::TempDir() + "/chopin_trace.bin";
+    ASSERT_TRUE(saveTrace(original, path));
+
+    FrameTrace loaded;
+    ASSERT_TRUE(loadTrace(loaded, path));
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.name, original.name);
+    EXPECT_EQ(loaded.full_name, original.full_name);
+    EXPECT_EQ(loaded.viewport.width, original.viewport.width);
+    EXPECT_EQ(loaded.viewport.height, original.viewport.height);
+    EXPECT_EQ(loaded.num_render_targets, original.num_render_targets);
+    ASSERT_EQ(loaded.draws.size(), original.draws.size());
+    for (std::size_t i = 0; i < original.draws.size(); ++i) {
+        const DrawCommand &a = original.draws[i];
+        const DrawCommand &b = loaded.draws[i];
+        ASSERT_EQ(a.id, b.id);
+        ASSERT_TRUE(a.state == b.state);
+        ASSERT_EQ(a.alpha_ref, b.alpha_ref);
+        ASSERT_EQ(a.backface_cull, b.backface_cull);
+        ASSERT_EQ(a.texture_rt, b.texture_rt);
+        ASSERT_EQ(a.triangles.size(), b.triangles.size());
+        for (std::size_t k = 0; k < a.triangles.size(); ++k) {
+            for (int v = 0; v < 3; ++v) {
+                ASSERT_EQ(a.triangles[k].v[v].pos.x,
+                          b.triangles[k].v[v].pos.x);
+                ASSERT_EQ(a.triangles[k].v[v].pos.z,
+                          b.triangles[k].v[v].pos.z);
+                ASSERT_EQ(a.triangles[k].v[v].color, b.triangles[k].v[v].color);
+            }
+        }
+    }
+}
+
+TEST(TraceIo, MissingFileReturnsFalse)
+{
+    FrameTrace t;
+    EXPECT_FALSE(loadTrace(t, "/nonexistent/path/trace.bin"));
+}
+
+TEST(TraceIo, RejectsNonTraceFile)
+{
+    std::string path = ::testing::TempDir() + "/not_a_trace.bin";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const char junk[] = "this is not a trace file at all............";
+        std::fwrite(junk, 1, sizeof(junk), f);
+        std::fclose(f);
+    }
+    FrameTrace t;
+    EXPECT_EXIT(loadTrace(t, path), ::testing::ExitedWithCode(1),
+                "not a CHOPIN trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsTruncatedFile)
+{
+    FrameTrace original = generateBenchmark("wolf", 32);
+    std::string path = ::testing::TempDir() + "/chopin_trunc.bin";
+    ASSERT_TRUE(saveTrace(original, path));
+    // Truncate to half.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        std::fseek(f, 0, SEEK_END);
+        long size = std::ftell(f);
+        std::fclose(f);
+        ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+    }
+    FrameTrace t;
+    EXPECT_EXIT(loadTrace(t, path), ::testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace chopin

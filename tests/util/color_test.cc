@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "util/color.hh"
+
+namespace chopin
+{
+namespace
+{
+
+TEST(Color, PackUnpackRoundTripsQuantized)
+{
+    Color c{0.25f, 0.5f, 0.75f, 1.0f};
+    Color back = unpackRgba8(packRgba8(c));
+    EXPECT_NEAR(back.r, c.r, 1.0f / 255.0f);
+    EXPECT_NEAR(back.g, c.g, 1.0f / 255.0f);
+    EXPECT_NEAR(back.b, c.b, 1.0f / 255.0f);
+    EXPECT_NEAR(back.a, c.a, 1.0f / 255.0f);
+}
+
+TEST(Color, PackClampsOutOfRange)
+{
+    EXPECT_EQ(packRgba8({2.0f, -1.0f, 0.0f, 1.0f}), 0xff0000ffu);
+}
+
+TEST(Color, PackExtremes)
+{
+    EXPECT_EQ(packRgba8({0, 0, 0, 0}), 0u);
+    EXPECT_EQ(packRgba8({1, 1, 1, 1}), 0xffffffffu);
+}
+
+TEST(Color, Clamp01)
+{
+    Color c = clamp01({-0.5f, 0.5f, 1.5f, 1.0f});
+    EXPECT_FLOAT_EQ(c.r, 0.0f);
+    EXPECT_FLOAT_EQ(c.g, 0.5f);
+    EXPECT_FLOAT_EQ(c.b, 1.0f);
+}
+
+TEST(Color, Arithmetic)
+{
+    Color a{0.1f, 0.2f, 0.3f, 0.4f};
+    Color b{0.4f, 0.3f, 0.2f, 0.1f};
+    Color sum = a + b;
+    EXPECT_FLOAT_EQ(sum.r, 0.5f);
+    EXPECT_FLOAT_EQ(sum.a, 0.5f);
+    Color diff = a - b;
+    EXPECT_NEAR(diff.r, -0.3f, 1e-6f);
+    Color scaled = a * 2.0f;
+    EXPECT_FLOAT_EQ(scaled.g, 0.4f);
+    Color prod = a * b;
+    EXPECT_NEAR(prod.b, 0.06f, 1e-6f);
+}
+
+TEST(Color, MaxAbsDiff)
+{
+    Color a{0.0f, 0.5f, 1.0f, 0.25f};
+    Color b{0.1f, 0.5f, 0.7f, 0.25f};
+    EXPECT_NEAR(maxAbsDiff(a, b), 0.3f, 1e-6f);
+    EXPECT_FLOAT_EQ(maxAbsDiff(a, a), 0.0f);
+}
+
+} // namespace
+} // namespace chopin

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/image.hh"
+
+namespace chopin
+{
+namespace
+{
+
+TEST(Image, ConstructionAndFill)
+{
+    Image img(4, 3, {1, 0, 0, 1});
+    EXPECT_EQ(img.width(), 4);
+    EXPECT_EQ(img.height(), 3);
+    EXPECT_EQ(img.at(3, 2), (Color{1, 0, 0, 1}));
+    img.clear({0, 1, 0, 1});
+    EXPECT_EQ(img.at(0, 0), (Color{0, 1, 0, 1}));
+}
+
+TEST(Image, CompareIdentical)
+{
+    Image a(8, 8, {0.5f, 0.5f, 0.5f, 1});
+    ImageDiff d = compareImages(a, a);
+    EXPECT_EQ(d.differing_pixels, 0);
+    EXPECT_FLOAT_EQ(d.max_abs_diff, 0.0f);
+}
+
+TEST(Image, CompareFindsFirstDifference)
+{
+    Image a(8, 8), b(8, 8);
+    b.at(5, 2) = {0.2f, 0, 0, 0};
+    b.at(6, 7) = {0.1f, 0, 0, 0};
+    ImageDiff d = compareImages(a, b);
+    EXPECT_EQ(d.differing_pixels, 2);
+    EXPECT_EQ(d.first_x, 5);
+    EXPECT_EQ(d.first_y, 2);
+    EXPECT_NEAR(d.max_abs_diff, 0.2f, 1e-6f);
+}
+
+TEST(Image, CompareHonorsTolerance)
+{
+    Image a(4, 4), b(4, 4);
+    b.at(1, 1) = {0.05f, 0, 0, 0};
+    EXPECT_EQ(compareImages(a, b, 0.1f).differing_pixels, 0);
+    EXPECT_EQ(compareImages(a, b, 0.01f).differing_pixels, 1);
+}
+
+TEST(Image, CompareSizeMismatch)
+{
+    Image a(4, 4), b(5, 4);
+    EXPECT_EQ(compareImages(a, b).differing_pixels, -1);
+}
+
+TEST(Image, PpmWriteProducesValidHeaderAndSize)
+{
+    Image img(10, 5, {1, 1, 1, 1});
+    std::string path = ::testing::TempDir() + "/chopin_test.ppm";
+    ASSERT_TRUE(img.writePpm(path));
+    std::ifstream in(path, std::ios::binary);
+    std::string magic;
+    int w, h, maxval;
+    in >> magic >> w >> h >> maxval;
+    EXPECT_EQ(magic, "P6");
+    EXPECT_EQ(w, 10);
+    EXPECT_EQ(h, 5);
+    EXPECT_EQ(maxval, 255);
+    in.get(); // single whitespace after header
+    std::vector<char> payload(static_cast<std::size_t>(w) * h * 3);
+    in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+    EXPECT_EQ(in.gcount(), static_cast<std::streamsize>(payload.size()));
+    std::remove(path.c_str());
+}
+
+TEST(Image, PpmWriteFailsOnBadPath)
+{
+    Image img(2, 2);
+    EXPECT_FALSE(img.writePpm("/nonexistent-dir/x.ppm"));
+}
+
+} // namespace
+} // namespace chopin

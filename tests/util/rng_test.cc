@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hh"
+
+namespace chopin
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, StreamsAreIndependent)
+{
+    Rng a(7, 1), b(7, 2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+class RngBoundsTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(RngBoundsTest, BoundedStaysInRange)
+{
+    std::uint32_t bound = GetParam();
+    Rng rng(99 + bound);
+    for (int i = 0; i < 2000; ++i)
+        ASSERT_LT(rng.nextBounded(bound), bound);
+}
+
+TEST_P(RngBoundsTest, BoundedCoversRange)
+{
+    std::uint32_t bound = GetParam();
+    if (bound > 64)
+        return; // coverage check only makes sense for small bounds
+    Rng rng(7 + bound);
+    std::vector<bool> seen(bound, false);
+    for (int i = 0; i < 5000; ++i)
+        seen[rng.nextBounded(bound)] = true;
+    for (std::uint32_t v = 0; v < bound; ++v)
+        EXPECT_TRUE(seen[v]) << "value " << v << " never produced";
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundsTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 10u, 64u, 1000u,
+                                           1u << 20));
+
+TEST(Rng, FloatInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        float f = rng.nextFloat();
+        ASSERT_GE(f, 0.0f);
+        ASSERT_LT(f, 1.0f);
+    }
+}
+
+TEST(Rng, FloatRangeRespected)
+{
+    Rng rng(6);
+    for (int i = 0; i < 1000; ++i) {
+        float f = rng.nextFloat(-2.0f, 3.0f);
+        ASSERT_GE(f, -2.0f);
+        ASSERT_LT(f, 3.0f);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(8);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        std::uint32_t v = rng.nextRange(3, 5);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 5u);
+        lo |= v == 3;
+        hi |= v == 5;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard)
+{
+    Rng rng(123);
+    double sum = 0, sum2 = 0;
+    int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.nextNormal();
+        sum += v;
+        sum2 += v * v;
+    }
+    double mean = sum / n;
+    double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, LogNormalIsPositiveAndHeavyTailed)
+{
+    Rng rng(321);
+    double max_v = 0, sum = 0;
+    int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.nextLogNormal(0.0, 1.1);
+        ASSERT_GT(v, 0.0);
+        max_v = std::max(max_v, v);
+        sum += v;
+    }
+    // Heavy tail: the max dwarfs the mean.
+    EXPECT_GT(max_v, 10.0 * (sum / n));
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(55);
+    double sum = 0;
+    int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextExponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.25);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng rng(77);
+    int hits = 0, n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+} // namespace
+} // namespace chopin

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/vec.hh"
+
+namespace chopin
+{
+namespace
+{
+
+constexpr float eps = 1e-5f;
+
+void
+expectVec4Near(const Vec4 &a, const Vec4 &b)
+{
+    EXPECT_NEAR(a.x, b.x, eps);
+    EXPECT_NEAR(a.y, b.y, eps);
+    EXPECT_NEAR(a.z, b.z, eps);
+    EXPECT_NEAR(a.w, b.w, eps);
+}
+
+TEST(Vec, DotAndCross)
+{
+    Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+    EXPECT_FLOAT_EQ(dot(x, y), 0.0f);
+    EXPECT_FLOAT_EQ(dot(x, x), 1.0f);
+    Vec3 c = cross(x, y);
+    EXPECT_FLOAT_EQ(c.x, z.x);
+    EXPECT_FLOAT_EQ(c.y, z.y);
+    EXPECT_FLOAT_EQ(c.z, z.z);
+}
+
+TEST(Vec, NormalizeLength)
+{
+    Vec3 v{3, 4, 0};
+    EXPECT_FLOAT_EQ(length(v), 5.0f);
+    Vec3 n = normalize(v);
+    EXPECT_NEAR(length(n), 1.0f, eps);
+    // Zero vector normalizes to itself (no NaN).
+    Vec3 zero;
+    Vec3 nz = normalize(zero);
+    EXPECT_FLOAT_EQ(nz.x, 0.0f);
+}
+
+TEST(Mat4, IdentityIsNeutral)
+{
+    Vec4 v{1.5f, -2.0f, 3.0f, 1.0f};
+    expectVec4Near(transform(Mat4::identity(), v), v);
+}
+
+TEST(Mat4, TranslateMovesPoints)
+{
+    Mat4 t = Mat4::translate(1, 2, 3);
+    expectVec4Near(transform(t, {0, 0, 0, 1}), {1, 2, 3, 1});
+    // Directions (w = 0) are unaffected by translation.
+    expectVec4Near(transform(t, {1, 0, 0, 0}), {1, 0, 0, 0});
+}
+
+TEST(Mat4, ScaleScales)
+{
+    Mat4 s = Mat4::scale(2, 3, 4);
+    expectVec4Near(transform(s, {1, 1, 1, 1}), {2, 3, 4, 1});
+}
+
+TEST(Mat4, RotateYQuarterTurn)
+{
+    Mat4 r = Mat4::rotateY(static_cast<float>(M_PI / 2));
+    // +x rotates to -z (right-handed).
+    Vec4 out = transform(r, {1, 0, 0, 1});
+    EXPECT_NEAR(out.x, 0.0f, eps);
+    EXPECT_NEAR(out.z, -1.0f, eps);
+}
+
+TEST(Mat4, RotateXQuarterTurn)
+{
+    Mat4 r = Mat4::rotateX(static_cast<float>(M_PI / 2));
+    Vec4 out = transform(r, {0, 1, 0, 1});
+    EXPECT_NEAR(out.y, 0.0f, eps);
+    EXPECT_NEAR(out.z, 1.0f, eps);
+}
+
+TEST(Mat4, CompositionMatchesSequentialTransforms)
+{
+    Mat4 a = Mat4::translate(1, 0, 0);
+    Mat4 b = Mat4::scale(2, 2, 2);
+    Vec4 v{1, 2, 3, 1};
+    Vec4 seq = transform(a, transform(b, v));
+    Vec4 combined = transform(a * b, v);
+    expectVec4Near(seq, combined);
+}
+
+TEST(Mat4, PerspectiveMapsNearAndFarPlanes)
+{
+    float n = 0.1f, f = 100.0f;
+    Mat4 p = Mat4::perspective(static_cast<float>(M_PI / 2), 1.0f, n, f);
+    Vec4 near_pt = transform(p, {0, 0, -n, 1});
+    Vec4 far_pt = transform(p, {0, 0, -f, 1});
+    EXPECT_NEAR(near_pt.z / near_pt.w, -1.0f, 1e-4f);
+    EXPECT_NEAR(far_pt.z / far_pt.w, 1.0f, 1e-4f);
+}
+
+TEST(Mat4, OrthoMapsCorners)
+{
+    Mat4 o = Mat4::ortho(-2, 2, -1, 1, 0, 10);
+    Vec4 c = transform(o, {2, 1, 0, 1});
+    EXPECT_NEAR(c.x, 1.0f, eps);
+    EXPECT_NEAR(c.y, 1.0f, eps);
+}
+
+} // namespace
+} // namespace chopin

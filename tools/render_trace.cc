@@ -1,0 +1,84 @@
+/**
+ * @file
+ * render_trace: render a saved trace under any SFR scheme and write the
+ * frame as a PPM image, optionally verifying it against the single-GPU
+ * reference.
+ *
+ *   render_trace frame.trace --scheme=chopin+cs --gpus=8 --out=frame.ppm
+ */
+
+#include <iostream>
+
+#include "core/chopin.hh"
+
+namespace
+{
+
+chopin::Scheme
+schemeByName(const std::string &name)
+{
+    using chopin::Scheme;
+    if (name == "single")
+        return Scheme::SingleGpu;
+    if (name == "dup" || name == "duplication")
+        return Scheme::Duplication;
+    if (name == "gpupd")
+        return Scheme::Gpupd;
+    if (name == "gpupd-ideal")
+        return Scheme::GpupdIdeal;
+    if (name == "chopin-rr")
+        return Scheme::ChopinRoundRobin;
+    if (name == "chopin")
+        return Scheme::Chopin;
+    if (name == "chopin+cs")
+        return Scheme::ChopinCompSched;
+    if (name == "chopin-ideal")
+        return Scheme::ChopinIdeal;
+    chopin::fatal("unknown scheme '", name,
+                  "' (single dup gpupd gpupd-ideal chopin chopin-rr "
+                  "chopin+cs chopin-ideal)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace chopin;
+
+    CommandLine cli("render a CHOPIN trace to an image");
+    cli.addFlag("scheme", "chopin+cs", "rendering scheme");
+    cli.addFlag("gpus", "8", "number of GPUs");
+    cli.addFlag("out", "frame.ppm", "output PPM path");
+    cli.addFlag("verify", "true", "compare against single-GPU reference");
+    cli.parse(argc, argv);
+    if (cli.positional().size() != 1)
+        fatal("usage: render_trace <file.trace> [flags]");
+
+    FrameTrace trace;
+    if (!loadTrace(trace, cli.positional()[0]))
+        fatal("cannot open '", cli.positional()[0], "'");
+
+    SystemConfig cfg;
+    cfg.num_gpus = static_cast<unsigned>(cli.getInt("gpus"));
+    Scheme scheme = schemeByName(cli.getString("scheme"));
+    FrameResult r = runScheme(scheme, cfg, trace);
+
+    std::cout << toString(scheme) << " on " << cfg.num_gpus
+              << " GPU(s): " << r.cycles << " cycles, "
+              << formatMb(r.traffic.total) << " MB inter-GPU traffic\n";
+
+    if (cli.getBool("verify") && scheme != Scheme::SingleGpu) {
+        FrameResult reference = runSingleGpu(cfg, trace);
+        ImageDiff diff = compareImages(reference.image, r.image, 2e-4f);
+        if (diff.differing_pixels != 0)
+            fatal("image mismatch: ", diff.differing_pixels,
+                  " pixels differ from the single-GPU reference");
+        std::cout << "verified: image matches the single-GPU reference\n";
+    }
+
+    if (!r.image.writePpm(cli.getString("out")))
+        fatal("cannot write '", cli.getString("out"), "'");
+    std::cout << "wrote " << cli.getString("out") << "\n";
+    return 0;
+}

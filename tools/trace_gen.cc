@@ -1,0 +1,45 @@
+/**
+ * @file
+ * trace_gen: generate a benchmark trace (or a custom-seeded variant) and
+ * save it in the binary trace format.
+ *
+ *   trace_gen --bench=ut3 --out=ut3.trace
+ *   trace_gen --bench=grid --scale=4 --seed=99 --out=grid_s99.trace
+ */
+
+#include <iostream>
+
+#include "core/chopin.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace chopin;
+
+    CommandLine cli("generate a CHOPIN benchmark trace");
+    cli.addFlag("bench", "ut3", "benchmark profile (cod2 cry grid mirror "
+                                "nfs stal ut3 wolf)");
+    cli.addFlag("scale", "1", "trace scale divisor");
+    cli.addFlag("seed", "0", "override the profile seed (0 = keep default)");
+    cli.addFlag("out", "", "output path (default: <bench>.trace)");
+    cli.parse(argc, argv);
+
+    BenchmarkProfile profile = scaleProfile(
+        benchmarkProfile(cli.getString("bench")),
+        static_cast<int>(cli.getInt("scale")));
+    if (cli.getInt("seed") != 0)
+        profile.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+
+    FrameTrace trace = generateTrace(profile);
+    std::string out = cli.getString("out");
+    if (out.empty())
+        out = trace.name + ".trace";
+    if (!saveTrace(trace, out))
+        fatal("cannot write '", out, "'");
+
+    std::cout << "wrote " << out << ": " << trace.draws.size() << " draws, "
+              << trace.totalTriangles() << " triangles, "
+              << trace.viewport.width << "x" << trace.viewport.height
+              << "\n";
+    return 0;
+}
