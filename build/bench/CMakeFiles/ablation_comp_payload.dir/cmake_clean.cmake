@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_comp_payload.dir/ablation_comp_payload.cpp.o"
+  "CMakeFiles/ablation_comp_payload.dir/ablation_comp_payload.cpp.o.d"
+  "ablation_comp_payload"
+  "ablation_comp_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_comp_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gpupd_batching.dir/ablation_gpupd_batching.cpp.o"
+  "CMakeFiles/ablation_gpupd_batching.dir/ablation_gpupd_batching.cpp.o.d"
+  "ablation_gpupd_batching"
+  "ablation_gpupd_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpupd_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

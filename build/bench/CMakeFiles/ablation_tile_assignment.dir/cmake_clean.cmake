@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tile_assignment.dir/ablation_tile_assignment.cpp.o"
+  "CMakeFiles/ablation_tile_assignment.dir/ablation_tile_assignment.cpp.o.d"
+  "ablation_tile_assignment"
+  "ablation_tile_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tile_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopin_bench_common.dir/common.cc.o"
+  "CMakeFiles/chopin_bench_common.dir/common.cc.o.d"
+  "libchopin_bench_common.a"
+  "libchopin_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopin_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

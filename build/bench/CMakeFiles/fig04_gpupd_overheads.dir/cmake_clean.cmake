@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_gpupd_overheads.dir/fig04_gpupd_overheads.cpp.o"
+  "CMakeFiles/fig04_gpupd_overheads.dir/fig04_gpupd_overheads.cpp.o.d"
+  "fig04_gpupd_overheads"
+  "fig04_gpupd_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_gpupd_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ideal_speedup.dir/fig05_ideal_speedup.cpp.o"
+  "CMakeFiles/fig05_ideal_speedup.dir/fig05_ideal_speedup.cpp.o.d"
+  "fig05_ideal_speedup"
+  "fig05_ideal_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ideal_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_round_robin.dir/fig08_round_robin.cpp.o"
+  "CMakeFiles/fig08_round_robin.dir/fig08_round_robin.cpp.o.d"
+  "fig08_round_robin"
+  "fig08_round_robin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_round_robin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_triangle_rate.dir/fig09_triangle_rate.cpp.o"
+  "CMakeFiles/fig09_triangle_rate.dir/fig09_triangle_rate.cpp.o.d"
+  "fig09_triangle_rate"
+  "fig09_triangle_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_triangle_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_depth_test.dir/fig15_depth_test.cpp.o"
+  "CMakeFiles/fig15_depth_test.dir/fig15_depth_test.cpp.o.d"
+  "fig15_depth_test"
+  "fig15_depth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_depth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_culled_retention.dir/fig16_culled_retention.cpp.o"
+  "CMakeFiles/fig16_culled_retention.dir/fig16_culled_retention.cpp.o.d"
+  "fig16_culled_retention"
+  "fig16_culled_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_culled_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig17_composition_traffic.cpp" "bench/CMakeFiles/fig17_composition_traffic.dir/fig17_composition_traffic.cpp.o" "gcc" "bench/CMakeFiles/fig17_composition_traffic.dir/fig17_composition_traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/chopin_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/chopin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfr/CMakeFiles/chopin_sfr.dir/DependInfo.cmake"
+  "/root/repo/build/src/comp/CMakeFiles/chopin_comp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/chopin_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chopin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chopin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chopin_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/chopin_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/chopin_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chopin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_composition_traffic.dir/fig17_composition_traffic.cpp.o"
+  "CMakeFiles/fig17_composition_traffic.dir/fig17_composition_traffic.cpp.o.d"
+  "fig17_composition_traffic"
+  "fig17_composition_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_composition_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_sched_update_freq.dir/fig18_sched_update_freq.cpp.o"
+  "CMakeFiles/fig18_sched_update_freq.dir/fig18_sched_update_freq.cpp.o.d"
+  "fig18_sched_update_freq"
+  "fig18_sched_update_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_sched_update_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

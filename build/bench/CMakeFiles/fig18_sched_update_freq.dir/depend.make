@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_sched_update_freq.
+# This may be replaced when dependencies are built.

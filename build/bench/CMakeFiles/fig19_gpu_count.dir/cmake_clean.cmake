@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_gpu_count.dir/fig19_gpu_count.cpp.o"
+  "CMakeFiles/fig19_gpu_count.dir/fig19_gpu_count.cpp.o.d"
+  "fig19_gpu_count"
+  "fig19_gpu_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_gpu_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

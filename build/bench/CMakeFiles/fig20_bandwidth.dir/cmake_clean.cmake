@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_bandwidth.dir/fig20_bandwidth.cpp.o"
+  "CMakeFiles/fig20_bandwidth.dir/fig20_bandwidth.cpp.o.d"
+  "fig20_bandwidth"
+  "fig20_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_group_threshold.dir/fig22_group_threshold.cpp.o"
+  "CMakeFiles/fig22_group_threshold.dir/fig22_group_threshold.cpp.o.d"
+  "fig22_group_threshold"
+  "fig22_group_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_group_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_hw_cost.dir/table_hw_cost.cpp.o"
+  "CMakeFiles/table_hw_cost.dir/table_hw_cost.cpp.o.d"
+  "table_hw_cost"
+  "table_hw_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_hw_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_sched_traffic.dir/table_sched_traffic.cpp.o"
+  "CMakeFiles/table_sched_traffic.dir/table_sched_traffic.cpp.o.d"
+  "table_sched_traffic"
+  "table_sched_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_sched_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

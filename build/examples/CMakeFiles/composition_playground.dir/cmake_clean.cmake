@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composition_playground.dir/composition_playground.cpp.o"
+  "CMakeFiles/composition_playground.dir/composition_playground.cpp.o.d"
+  "composition_playground"
+  "composition_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composition_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_afr_sfr.dir/hybrid_afr_sfr.cpp.o"
+  "CMakeFiles/hybrid_afr_sfr.dir/hybrid_afr_sfr.cpp.o.d"
+  "hybrid_afr_sfr"
+  "hybrid_afr_sfr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_afr_sfr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comp/algorithms.cc" "src/comp/CMakeFiles/chopin_comp.dir/algorithms.cc.o" "gcc" "src/comp/CMakeFiles/chopin_comp.dir/algorithms.cc.o.d"
+  "/root/repo/src/comp/depth_image.cc" "src/comp/CMakeFiles/chopin_comp.dir/depth_image.cc.o" "gcc" "src/comp/CMakeFiles/chopin_comp.dir/depth_image.cc.o.d"
+  "/root/repo/src/comp/operators.cc" "src/comp/CMakeFiles/chopin_comp.dir/operators.cc.o" "gcc" "src/comp/CMakeFiles/chopin_comp.dir/operators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gfx/CMakeFiles/chopin_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chopin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

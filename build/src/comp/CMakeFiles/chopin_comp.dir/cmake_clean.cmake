@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopin_comp.dir/algorithms.cc.o"
+  "CMakeFiles/chopin_comp.dir/algorithms.cc.o.d"
+  "CMakeFiles/chopin_comp.dir/depth_image.cc.o"
+  "CMakeFiles/chopin_comp.dir/depth_image.cc.o.d"
+  "CMakeFiles/chopin_comp.dir/operators.cc.o"
+  "CMakeFiles/chopin_comp.dir/operators.cc.o.d"
+  "libchopin_comp.a"
+  "libchopin_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopin_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopin_core.dir/chopin.cc.o"
+  "CMakeFiles/chopin_core.dir/chopin.cc.o.d"
+  "libchopin_core.a"
+  "libchopin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

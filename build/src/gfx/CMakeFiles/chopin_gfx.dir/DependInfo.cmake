@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gfx/geometry.cc" "src/gfx/CMakeFiles/chopin_gfx.dir/geometry.cc.o" "gcc" "src/gfx/CMakeFiles/chopin_gfx.dir/geometry.cc.o.d"
+  "/root/repo/src/gfx/raster.cc" "src/gfx/CMakeFiles/chopin_gfx.dir/raster.cc.o" "gcc" "src/gfx/CMakeFiles/chopin_gfx.dir/raster.cc.o.d"
+  "/root/repo/src/gfx/renderer.cc" "src/gfx/CMakeFiles/chopin_gfx.dir/renderer.cc.o" "gcc" "src/gfx/CMakeFiles/chopin_gfx.dir/renderer.cc.o.d"
+  "/root/repo/src/gfx/state.cc" "src/gfx/CMakeFiles/chopin_gfx.dir/state.cc.o" "gcc" "src/gfx/CMakeFiles/chopin_gfx.dir/state.cc.o.d"
+  "/root/repo/src/gfx/surface.cc" "src/gfx/CMakeFiles/chopin_gfx.dir/surface.cc.o" "gcc" "src/gfx/CMakeFiles/chopin_gfx.dir/surface.cc.o.d"
+  "/root/repo/src/gfx/tiles.cc" "src/gfx/CMakeFiles/chopin_gfx.dir/tiles.cc.o" "gcc" "src/gfx/CMakeFiles/chopin_gfx.dir/tiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chopin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopin_gfx.dir/geometry.cc.o"
+  "CMakeFiles/chopin_gfx.dir/geometry.cc.o.d"
+  "CMakeFiles/chopin_gfx.dir/raster.cc.o"
+  "CMakeFiles/chopin_gfx.dir/raster.cc.o.d"
+  "CMakeFiles/chopin_gfx.dir/renderer.cc.o"
+  "CMakeFiles/chopin_gfx.dir/renderer.cc.o.d"
+  "CMakeFiles/chopin_gfx.dir/state.cc.o"
+  "CMakeFiles/chopin_gfx.dir/state.cc.o.d"
+  "CMakeFiles/chopin_gfx.dir/surface.cc.o"
+  "CMakeFiles/chopin_gfx.dir/surface.cc.o.d"
+  "CMakeFiles/chopin_gfx.dir/tiles.cc.o"
+  "CMakeFiles/chopin_gfx.dir/tiles.cc.o.d"
+  "libchopin_gfx.a"
+  "libchopin_gfx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopin_gfx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

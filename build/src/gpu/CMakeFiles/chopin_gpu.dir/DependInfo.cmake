@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/pipeline.cc" "src/gpu/CMakeFiles/chopin_gpu.dir/pipeline.cc.o" "gcc" "src/gpu/CMakeFiles/chopin_gpu.dir/pipeline.cc.o.d"
+  "/root/repo/src/gpu/timing.cc" "src/gpu/CMakeFiles/chopin_gpu.dir/timing.cc.o" "gcc" "src/gpu/CMakeFiles/chopin_gpu.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gfx/CMakeFiles/chopin_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chopin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chopin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

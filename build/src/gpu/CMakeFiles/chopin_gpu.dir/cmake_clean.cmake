@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopin_gpu.dir/pipeline.cc.o"
+  "CMakeFiles/chopin_gpu.dir/pipeline.cc.o.d"
+  "CMakeFiles/chopin_gpu.dir/timing.cc.o"
+  "CMakeFiles/chopin_gpu.dir/timing.cc.o.d"
+  "libchopin_gpu.a"
+  "libchopin_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopin_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopin_net.dir/interconnect.cc.o"
+  "CMakeFiles/chopin_net.dir/interconnect.cc.o.d"
+  "libchopin_net.a"
+  "libchopin_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopin_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

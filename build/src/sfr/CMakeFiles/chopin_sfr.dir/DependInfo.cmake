@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfr/afr.cc" "src/sfr/CMakeFiles/chopin_sfr.dir/afr.cc.o" "gcc" "src/sfr/CMakeFiles/chopin_sfr.dir/afr.cc.o.d"
+  "/root/repo/src/sfr/chopin.cc" "src/sfr/CMakeFiles/chopin_sfr.dir/chopin.cc.o" "gcc" "src/sfr/CMakeFiles/chopin_sfr.dir/chopin.cc.o.d"
+  "/root/repo/src/sfr/comp_scheduler.cc" "src/sfr/CMakeFiles/chopin_sfr.dir/comp_scheduler.cc.o" "gcc" "src/sfr/CMakeFiles/chopin_sfr.dir/comp_scheduler.cc.o.d"
+  "/root/repo/src/sfr/config.cc" "src/sfr/CMakeFiles/chopin_sfr.dir/config.cc.o" "gcc" "src/sfr/CMakeFiles/chopin_sfr.dir/config.cc.o.d"
+  "/root/repo/src/sfr/context.cc" "src/sfr/CMakeFiles/chopin_sfr.dir/context.cc.o" "gcc" "src/sfr/CMakeFiles/chopin_sfr.dir/context.cc.o.d"
+  "/root/repo/src/sfr/draw_scheduler.cc" "src/sfr/CMakeFiles/chopin_sfr.dir/draw_scheduler.cc.o" "gcc" "src/sfr/CMakeFiles/chopin_sfr.dir/draw_scheduler.cc.o.d"
+  "/root/repo/src/sfr/duplication.cc" "src/sfr/CMakeFiles/chopin_sfr.dir/duplication.cc.o" "gcc" "src/sfr/CMakeFiles/chopin_sfr.dir/duplication.cc.o.d"
+  "/root/repo/src/sfr/gpupd.cc" "src/sfr/CMakeFiles/chopin_sfr.dir/gpupd.cc.o" "gcc" "src/sfr/CMakeFiles/chopin_sfr.dir/gpupd.cc.o.d"
+  "/root/repo/src/sfr/grouping.cc" "src/sfr/CMakeFiles/chopin_sfr.dir/grouping.cc.o" "gcc" "src/sfr/CMakeFiles/chopin_sfr.dir/grouping.cc.o.d"
+  "/root/repo/src/sfr/partition_render.cc" "src/sfr/CMakeFiles/chopin_sfr.dir/partition_render.cc.o" "gcc" "src/sfr/CMakeFiles/chopin_sfr.dir/partition_render.cc.o.d"
+  "/root/repo/src/sfr/reference.cc" "src/sfr/CMakeFiles/chopin_sfr.dir/reference.cc.o" "gcc" "src/sfr/CMakeFiles/chopin_sfr.dir/reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comp/CMakeFiles/chopin_comp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/chopin_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/chopin_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chopin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chopin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chopin_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chopin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

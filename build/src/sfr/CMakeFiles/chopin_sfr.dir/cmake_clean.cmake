@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopin_sfr.dir/afr.cc.o"
+  "CMakeFiles/chopin_sfr.dir/afr.cc.o.d"
+  "CMakeFiles/chopin_sfr.dir/chopin.cc.o"
+  "CMakeFiles/chopin_sfr.dir/chopin.cc.o.d"
+  "CMakeFiles/chopin_sfr.dir/comp_scheduler.cc.o"
+  "CMakeFiles/chopin_sfr.dir/comp_scheduler.cc.o.d"
+  "CMakeFiles/chopin_sfr.dir/config.cc.o"
+  "CMakeFiles/chopin_sfr.dir/config.cc.o.d"
+  "CMakeFiles/chopin_sfr.dir/context.cc.o"
+  "CMakeFiles/chopin_sfr.dir/context.cc.o.d"
+  "CMakeFiles/chopin_sfr.dir/draw_scheduler.cc.o"
+  "CMakeFiles/chopin_sfr.dir/draw_scheduler.cc.o.d"
+  "CMakeFiles/chopin_sfr.dir/duplication.cc.o"
+  "CMakeFiles/chopin_sfr.dir/duplication.cc.o.d"
+  "CMakeFiles/chopin_sfr.dir/gpupd.cc.o"
+  "CMakeFiles/chopin_sfr.dir/gpupd.cc.o.d"
+  "CMakeFiles/chopin_sfr.dir/grouping.cc.o"
+  "CMakeFiles/chopin_sfr.dir/grouping.cc.o.d"
+  "CMakeFiles/chopin_sfr.dir/partition_render.cc.o"
+  "CMakeFiles/chopin_sfr.dir/partition_render.cc.o.d"
+  "CMakeFiles/chopin_sfr.dir/reference.cc.o"
+  "CMakeFiles/chopin_sfr.dir/reference.cc.o.d"
+  "libchopin_sfr.a"
+  "libchopin_sfr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopin_sfr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

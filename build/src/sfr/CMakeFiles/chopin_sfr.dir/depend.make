@@ -1,0 +1,2 @@
+# Empty dependencies file for chopin_sfr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopin_sim.dir/event_queue.cc.o"
+  "CMakeFiles/chopin_sim.dir/event_queue.cc.o.d"
+  "libchopin_sim.a"
+  "libchopin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

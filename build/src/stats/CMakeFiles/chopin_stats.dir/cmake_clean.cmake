@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopin_stats.dir/table.cc.o"
+  "CMakeFiles/chopin_stats.dir/table.cc.o.d"
+  "libchopin_stats.a"
+  "libchopin_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopin_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/draw_command.cc" "src/trace/CMakeFiles/chopin_trace.dir/draw_command.cc.o" "gcc" "src/trace/CMakeFiles/chopin_trace.dir/draw_command.cc.o.d"
+  "/root/repo/src/trace/generator.cc" "src/trace/CMakeFiles/chopin_trace.dir/generator.cc.o" "gcc" "src/trace/CMakeFiles/chopin_trace.dir/generator.cc.o.d"
+  "/root/repo/src/trace/profile.cc" "src/trace/CMakeFiles/chopin_trace.dir/profile.cc.o" "gcc" "src/trace/CMakeFiles/chopin_trace.dir/profile.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/chopin_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/chopin_trace.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gfx/CMakeFiles/chopin_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chopin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopin_trace.dir/draw_command.cc.o"
+  "CMakeFiles/chopin_trace.dir/draw_command.cc.o.d"
+  "CMakeFiles/chopin_trace.dir/generator.cc.o"
+  "CMakeFiles/chopin_trace.dir/generator.cc.o.d"
+  "CMakeFiles/chopin_trace.dir/profile.cc.o"
+  "CMakeFiles/chopin_trace.dir/profile.cc.o.d"
+  "CMakeFiles/chopin_trace.dir/trace_io.cc.o"
+  "CMakeFiles/chopin_trace.dir/trace_io.cc.o.d"
+  "libchopin_trace.a"
+  "libchopin_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopin_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopin_util.dir/cli.cc.o"
+  "CMakeFiles/chopin_util.dir/cli.cc.o.d"
+  "CMakeFiles/chopin_util.dir/color.cc.o"
+  "CMakeFiles/chopin_util.dir/color.cc.o.d"
+  "CMakeFiles/chopin_util.dir/image.cc.o"
+  "CMakeFiles/chopin_util.dir/image.cc.o.d"
+  "CMakeFiles/chopin_util.dir/log.cc.o"
+  "CMakeFiles/chopin_util.dir/log.cc.o.d"
+  "CMakeFiles/chopin_util.dir/rng.cc.o"
+  "CMakeFiles/chopin_util.dir/rng.cc.o.d"
+  "CMakeFiles/chopin_util.dir/vec.cc.o"
+  "CMakeFiles/chopin_util.dir/vec.cc.o.d"
+  "libchopin_util.a"
+  "libchopin_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopin_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

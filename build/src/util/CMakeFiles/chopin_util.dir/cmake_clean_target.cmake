@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchopin_util.a"
+)

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comp_test.dir/comp/algorithms_test.cc.o"
+  "CMakeFiles/comp_test.dir/comp/algorithms_test.cc.o.d"
+  "CMakeFiles/comp_test.dir/comp/operators_test.cc.o"
+  "CMakeFiles/comp_test.dir/comp/operators_test.cc.o.d"
+  "comp_test"
+  "comp_test.pdb"
+  "comp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfx_test.dir/gfx/geometry_test.cc.o"
+  "CMakeFiles/gfx_test.dir/gfx/geometry_test.cc.o.d"
+  "CMakeFiles/gfx_test.dir/gfx/raster_test.cc.o"
+  "CMakeFiles/gfx_test.dir/gfx/raster_test.cc.o.d"
+  "CMakeFiles/gfx_test.dir/gfx/renderer_test.cc.o"
+  "CMakeFiles/gfx_test.dir/gfx/renderer_test.cc.o.d"
+  "CMakeFiles/gfx_test.dir/gfx/stencil_test.cc.o"
+  "CMakeFiles/gfx_test.dir/gfx/stencil_test.cc.o.d"
+  "CMakeFiles/gfx_test.dir/gfx/surface_test.cc.o"
+  "CMakeFiles/gfx_test.dir/gfx/surface_test.cc.o.d"
+  "CMakeFiles/gfx_test.dir/gfx/texture_test.cc.o"
+  "CMakeFiles/gfx_test.dir/gfx/texture_test.cc.o.d"
+  "CMakeFiles/gfx_test.dir/gfx/tiles_test.cc.o"
+  "CMakeFiles/gfx_test.dir/gfx/tiles_test.cc.o.d"
+  "gfx_test"
+  "gfx_test.pdb"
+  "gfx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

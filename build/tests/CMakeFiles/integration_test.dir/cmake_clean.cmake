@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/api_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/api_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/determinism_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/determinism_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/oracle_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/oracle_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/reversed_z_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/reversed_z_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/timing_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/timing_test.cc.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

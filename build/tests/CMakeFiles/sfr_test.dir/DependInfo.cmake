@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sfr/afr_test.cc" "tests/CMakeFiles/sfr_test.dir/sfr/afr_test.cc.o" "gcc" "tests/CMakeFiles/sfr_test.dir/sfr/afr_test.cc.o.d"
+  "/root/repo/tests/sfr/chopin_test.cc" "tests/CMakeFiles/sfr_test.dir/sfr/chopin_test.cc.o" "gcc" "tests/CMakeFiles/sfr_test.dir/sfr/chopin_test.cc.o.d"
+  "/root/repo/tests/sfr/comp_scheduler_test.cc" "tests/CMakeFiles/sfr_test.dir/sfr/comp_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/sfr_test.dir/sfr/comp_scheduler_test.cc.o.d"
+  "/root/repo/tests/sfr/draw_scheduler_test.cc" "tests/CMakeFiles/sfr_test.dir/sfr/draw_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/sfr_test.dir/sfr/draw_scheduler_test.cc.o.d"
+  "/root/repo/tests/sfr/gpupd_test.cc" "tests/CMakeFiles/sfr_test.dir/sfr/gpupd_test.cc.o" "gcc" "tests/CMakeFiles/sfr_test.dir/sfr/gpupd_test.cc.o.d"
+  "/root/repo/tests/sfr/grouping_test.cc" "tests/CMakeFiles/sfr_test.dir/sfr/grouping_test.cc.o" "gcc" "tests/CMakeFiles/sfr_test.dir/sfr/grouping_test.cc.o.d"
+  "/root/repo/tests/sfr/partition_render_test.cc" "tests/CMakeFiles/sfr_test.dir/sfr/partition_render_test.cc.o" "gcc" "tests/CMakeFiles/sfr_test.dir/sfr/partition_render_test.cc.o.d"
+  "/root/repo/tests/sfr/payload_test.cc" "tests/CMakeFiles/sfr_test.dir/sfr/payload_test.cc.o" "gcc" "tests/CMakeFiles/sfr_test.dir/sfr/payload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chopin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfr/CMakeFiles/chopin_sfr.dir/DependInfo.cmake"
+  "/root/repo/build/src/comp/CMakeFiles/chopin_comp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/chopin_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chopin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chopin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chopin_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/chopin_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/chopin_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chopin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

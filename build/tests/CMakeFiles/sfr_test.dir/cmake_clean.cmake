@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfr_test.dir/sfr/afr_test.cc.o"
+  "CMakeFiles/sfr_test.dir/sfr/afr_test.cc.o.d"
+  "CMakeFiles/sfr_test.dir/sfr/chopin_test.cc.o"
+  "CMakeFiles/sfr_test.dir/sfr/chopin_test.cc.o.d"
+  "CMakeFiles/sfr_test.dir/sfr/comp_scheduler_test.cc.o"
+  "CMakeFiles/sfr_test.dir/sfr/comp_scheduler_test.cc.o.d"
+  "CMakeFiles/sfr_test.dir/sfr/draw_scheduler_test.cc.o"
+  "CMakeFiles/sfr_test.dir/sfr/draw_scheduler_test.cc.o.d"
+  "CMakeFiles/sfr_test.dir/sfr/gpupd_test.cc.o"
+  "CMakeFiles/sfr_test.dir/sfr/gpupd_test.cc.o.d"
+  "CMakeFiles/sfr_test.dir/sfr/grouping_test.cc.o"
+  "CMakeFiles/sfr_test.dir/sfr/grouping_test.cc.o.d"
+  "CMakeFiles/sfr_test.dir/sfr/partition_render_test.cc.o"
+  "CMakeFiles/sfr_test.dir/sfr/partition_render_test.cc.o.d"
+  "CMakeFiles/sfr_test.dir/sfr/payload_test.cc.o"
+  "CMakeFiles/sfr_test.dir/sfr/payload_test.cc.o.d"
+  "sfr_test"
+  "sfr_test.pdb"
+  "sfr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

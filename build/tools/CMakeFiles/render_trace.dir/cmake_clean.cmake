@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_trace.dir/render_trace.cc.o"
+  "CMakeFiles/render_trace.dir/render_trace.cc.o.d"
+  "render_trace"
+  "render_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_info.dir/trace_info.cc.o"
+  "CMakeFiles/trace_info.dir/trace_info.cc.o.d"
+  "trace_info"
+  "trace_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
