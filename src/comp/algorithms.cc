@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.hh"
 #include "util/log.hh"
 
 namespace chopin
@@ -77,9 +78,16 @@ composeDirectSend(std::span<const DepthImage> subs, DepthFunc func,
     // from all n contributions. `result` starts as rank 0's sub-image, so
     // only ranks >= 1 still need composing; traffic is counted for every
     // transfer that crosses ranks (src != owner).
+    int covered = 0; // region-partition invariant: bands tile [0, h)
     for (int r = 0; r < n; ++r) {
         int y0 = r * h / n;
         int y1 = (r + 1) * h / n;
+        // Every screen row is owned by exactly one rank: band r starts
+        // where band r-1 ended and the last band ends at the screen edge.
+        CHOPIN_ASSERT(y0 == covered && y1 >= y0,
+                      "direct-send bands do not partition the screen: band ",
+                      r, " = [", y0, ",", y1, ") after ", covered, " rows");
+        covered = y1;
         Bytes region_bytes = static_cast<Bytes>(y1 - y0) *
                              subs[0].width() * bytesPerOpaquePixel;
         for (int src = 0; src < n; ++src) {
@@ -89,6 +97,8 @@ composeDirectSend(std::span<const DepthImage> subs, DepthFunc func,
                 composeRows(result, subs[src], func, y0, y1);
         }
     }
+    CHOPIN_ASSERT(covered == h, "direct-send bands cover ", covered, " of ",
+                  h, " rows");
     // (The final gather to the display rank is not counted, matching the
     // convention of the direct-send literature.)
     return result;

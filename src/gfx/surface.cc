@@ -1,7 +1,55 @@
 #include "gfx/surface.hh"
 
+#include <cstring>
+
+#include "util/check.hh"
+
 namespace chopin
 {
+
+namespace
+{
+
+inline constexpr std::uint64_t fnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t fnvPrime = 1099511628211ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t h, const void *bytes, std::size_t n)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(bytes);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= fnvPrime;
+    }
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+frameHash(const Image &img)
+{
+    std::uint64_t h = fnvOffset;
+    int w = img.width();
+    int h_px = img.height();
+    h = fnv1a(h, &w, sizeof(w));
+    h = fnv1a(h, &h_px, sizeof(h_px));
+    if (!img.data().empty())
+        h = fnv1a(h, img.data().data(),
+                  img.data().size() * sizeof(Color));
+    return h;
+}
+
+std::uint64_t
+Surface::contentHash() const
+{
+    std::uint64_t h = frameHash(img);
+    if (!depth.empty())
+        h = fnv1a(h, depth.data(), depth.size() * sizeof(float));
+    if (!written.empty())
+        h = fnv1a(h, written.data(), written.size());
+    return h;
+}
 
 Surface::Surface(int w, int h)
     : img(w, h),
@@ -52,6 +100,10 @@ Surface::applyFragment(const Fragment &frag, const RasterState &state,
                        DrawId draw, float alpha_ref, DrawStats &stats)
 {
     stats.frags_generated += 1;
+    CHOPIN_DCHECK(frag.x >= 0 && frag.x < width() && frag.y >= 0 &&
+                      frag.y < height(),
+                  "fragment (", frag.x, ",", frag.y, ") outside ", width(),
+                  "x", height(), " surface");
     std::size_t i = idx(frag.x, frag.y);
 
     // The joint depth/stencil test: stencil first, then depth (GL order).

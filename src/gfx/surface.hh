@@ -65,6 +65,14 @@ class Surface
     void applyFragment(const Fragment &frag, const RasterState &state,
                        DrawId draw, float alpha_ref, DrawStats &stats);
 
+    /**
+     * Order-independent content hash over color, depth and written-mask
+     * state. Two surfaces hash equal iff their pixel state is bit-identical,
+     * which is the cross-scheme equality the paper's bit-exact composition
+     * claim rests on; see frameHash() for the image-only variant.
+     */
+    std::uint64_t contentHash() const;
+
   private:
     std::size_t
     idx(int x, int y) const
@@ -82,6 +90,13 @@ class Surface
 /** Apply blend operator @p op: @p src over/into @p dst (both straight RGBA
  *  except that a surface's stored color is treated as already-composited). */
 Color blendPixel(BlendOp op, const Color &src, const Color &dst);
+
+/**
+ * FNV-1a hash of an image's pixel bits. Per-scheme framebuffer hashes are
+ * the cheap equality hook: schemes reproducing the same frame must produce
+ * the same hash as the single-GPU reference.
+ */
+std::uint64_t frameHash(const Image &img);
 
 } // namespace chopin
 

@@ -27,6 +27,26 @@ TileGrid::pixelsInTile(int tile_index) const
     return px * py;
 }
 
+bool
+TileGrid::ownersPartitionScreen() const
+{
+    // ownerOfTile() is a function of the tile index, so each pixel has at
+    // most one owner by construction; what can break is owners falling
+    // outside [0, gpus) or partial edge tiles miscounting pixels.
+    std::vector<std::uint64_t> owned(gpus, 0);
+    for (int t = 0; t < tileCount(); ++t) {
+        GpuId owner = ownerOfTile(t % tx, t / tx);
+        if (owner >= gpus)
+            return false;
+        owned[owner] += static_cast<std::uint64_t>(pixelsInTile(t));
+    }
+    std::uint64_t total = 0;
+    for (std::uint64_t n : owned)
+        total += n;
+    return total == static_cast<std::uint64_t>(w) *
+                        static_cast<std::uint64_t>(h);
+}
+
 std::uint64_t
 TileGrid::overlappedGpus(const ScreenTriangle &tri) const
 {

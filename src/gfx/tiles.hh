@@ -95,6 +95,13 @@ class TileGrid
     int pixelsInTile(int tile_index) const;
 
     /**
+     * Ownership-partition invariant: every screen pixel belongs to exactly
+     * one GPU, every owner id is valid, and the per-owner pixel counts sum
+     * to width*height. O(tiles); used by DCHECKs and the tile tests.
+     */
+    bool ownersPartitionScreen() const;
+
+    /**
      * GPUs whose tiles a screen triangle's bounding box overlaps — the set
      * of destination GPUs GPUpd must send this primitive to.
      *

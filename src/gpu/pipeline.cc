@@ -7,7 +7,7 @@
 namespace chopin
 {
 
-GpuPipeline::GpuPipeline(const TimingParams &params) : params(params)
+GpuPipeline::GpuPipeline(const TimingParams &timing) : params(timing)
 {
 }
 

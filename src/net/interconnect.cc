@@ -2,18 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
-#include "util/log.hh"
+#include "util/check.hh"
 
 namespace chopin
 {
 
 Interconnect::Interconnect(unsigned num_gpus, const LinkParams &params)
     : gpus(num_gpus), linkParams(params), egress(num_gpus), ingress(num_gpus),
-      links(static_cast<std::size_t>(num_gpus) * num_gpus)
+      links(static_cast<std::size_t>(num_gpus) * num_gpus),
+      link_bytes(static_cast<std::size_t>(num_gpus) * num_gpus, 0)
 {
-    chopin_assert(num_gpus >= 1);
-    chopin_assert(params.bytes_per_cycle > 0.0);
+    CHOPIN_CHECK(num_gpus >= 1);
+    CHOPIN_CHECK(params.bytes_per_cycle > 0.0);
 }
 
 Tick
@@ -29,7 +31,7 @@ Tick
 Interconnect::transfer(GpuId src, GpuId dst, Bytes bytes, Tick earliest,
                        TrafficClass cls)
 {
-    chopin_assert(src < gpus && dst < gpus && src != dst,
+    CHOPIN_ASSERT(src < gpus && dst < gpus && src != dst,
                   "bad transfer ", src, " -> ", dst);
 
     Tick duration = transferCycles(bytes);
@@ -42,20 +44,80 @@ Interconnect::transfer(GpuId src, GpuId dst, Bytes bytes, Tick earliest,
     in.claim(start, duration);
     link.claim(start, duration);
 
+    // Injection-side accounting.
+    link_bytes[linkIndex(src, dst)] += bytes;
     stats.total += bytes;
     stats.by_class[static_cast<int>(cls)] += bytes;
     stats.messages += 1;
 
-    return start + duration + linkParams.latency;
+    // Delivery-side accounting: the message is in flight until `delivery`.
+    Tick delivery = start + duration + linkParams.latency;
+    delivered_bytes += bytes;
+    last_delivery = std::max(last_delivery, delivery);
+    inflight.acquire();
+    pending_deliveries.push(delivery);
+
+    return delivery;
 }
 
 void
 Interconnect::blockIngressUntil(GpuId gpu, Tick until)
 {
-    chopin_assert(gpu < gpus);
+    CHOPIN_ASSERT(gpu < gpus);
     Resource &in = ingress[gpu];
     if (in.freeAt() < until)
         in.claim(in.freeAt(), until - in.freeAt());
+}
+
+Bytes
+Interconnect::linkBytes(GpuId src, GpuId dst) const
+{
+    CHOPIN_ASSERT(src < gpus && dst < gpus);
+    return link_bytes[linkIndex(src, dst)];
+}
+
+void
+Interconnect::drainUpTo(Tick now)
+{
+    while (!pending_deliveries.empty() && pending_deliveries.top() <= now) {
+        pending_deliveries.pop();
+        inflight.release();
+    }
+}
+
+std::uint64_t
+Interconnect::inflightAfter(Tick now)
+{
+    drainUpTo(now);
+    return inflight.used();
+}
+
+void
+Interconnect::checkFlowConservation() const
+{
+    Bytes injected = std::accumulate(link_bytes.begin(), link_bytes.end(),
+                                     Bytes{0});
+    CHOPIN_CHECK(injected == delivered_bytes,
+                 "link flow not conserved: injected ", injected,
+                 " B, delivered ", delivered_bytes, " B");
+    CHOPIN_CHECK(injected == stats.total,
+                 "per-link and total traffic disagree: ", injected, " B vs ",
+                 stats.total, " B");
+    Bytes by_class = 0;
+    for (Bytes b : stats.by_class)
+        by_class += b;
+    CHOPIN_CHECK(by_class == stats.total,
+                 "per-class traffic does not sum to total: ", by_class,
+                 " B vs ", stats.total, " B");
+}
+
+void
+Interconnect::checkDrained(Tick frame_end)
+{
+    drainUpTo(frame_end);
+    CHOPIN_CHECK(inflight.empty(), inflight.used(),
+                 " message(s) still in flight at frame end ", frame_end,
+                 "; latest delivery at ", last_delivery);
 }
 
 void
@@ -68,6 +130,11 @@ Interconnect::reset()
     for (Resource &r : links)
         r.reset();
     stats = TrafficStats{};
+    std::fill(link_bytes.begin(), link_bytes.end(), Bytes{0});
+    delivered_bytes = 0;
+    last_delivery = 0;
+    inflight.reset();
+    pending_deliveries = {};
 }
 
 } // namespace chopin

@@ -21,6 +21,7 @@
 #define CHOPIN_NET_INTERCONNECT_HH
 
 #include <limits>
+#include <queue>
 #include <vector>
 
 #include "sim/resource.hh"
@@ -104,6 +105,29 @@ class Interconnect
 
     const TrafficStats &traffic() const { return stats; }
 
+    /** Bytes injected so far on the @p src -> @p dst link. */
+    Bytes linkBytes(GpuId src, GpuId dst) const;
+
+    /** Delivery time of the latest-arriving message sent so far. */
+    Tick lastDelivery() const { return last_delivery; }
+
+    /** Messages whose delivery time is later than @p now. */
+    std::uint64_t inflightAfter(Tick now);
+
+    /**
+     * Flow conservation: bytes injected per link sum to the bytes delivered
+     * and to the per-class traffic totals. Violations mean a transfer was
+     * double-counted or lost between the two accounting paths.
+     */
+    void checkFlowConservation() const;
+
+    /**
+     * All traffic must have drained by @p frame_end: a message still in
+     * flight after the frame's reported cycle count means some scheme
+     * failed to fold a delivery into its completion time.
+     */
+    void checkDrained(Tick frame_end);
+
     /** Clear port state and traffic counters (new frame). */
     void reset();
 
@@ -120,6 +144,17 @@ class Interconnect
     std::vector<Resource> ingress; ///< one per GPU
     std::vector<Resource> links;   ///< one per ordered pair
     TrafficStats stats;
+
+    // Invariant bookkeeping (see checkFlowConservation / checkDrained).
+    std::vector<Bytes> link_bytes; ///< injected bytes per ordered pair
+    Bytes delivered_bytes = 0;     ///< accumulated at delivery computation
+    Tick last_delivery = 0;
+    Occupancy inflight;            ///< messages injected but not yet drained
+    std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>>
+        pending_deliveries;
+
+    /** Release in-flight occupancy for messages delivered by @p now. */
+    void drainUpTo(Tick now);
 };
 
 } // namespace chopin

@@ -41,8 +41,8 @@ struct ChopinRun
     std::vector<std::vector<std::uint8_t>> sub_touched;
     Tick t = 0;
 
-    ChopinRun(SimContext &ctx, const ChopinOptions &opts)
-        : ctx(ctx), opts(opts),
+    ChopinRun(SimContext &sim_ctx, const ChopinOptions &run_opts)
+        : ctx(sim_ctx), opts(run_opts),
           sched(ctx.pipes, opts.policy, ctx.cfg.sched_update_tris)
     {
         subs.reserve(ctx.cfg.num_gpus);
@@ -321,18 +321,18 @@ struct ChopinRun
             for (int y = ty0; y < ty1; ++y) {
                 for (int x = tx0; x < tx1; ++x) {
                     bool any = false;
-                    Color acc = transparentIdentity(op);
+                    Color merged = transparentIdentity(op);
                     for (int g = static_cast<int>(n) - 1; g >= 0; --g) {
                         if (!subs[g].writtenAt(x, y))
                             continue;
                         any = true;
-                        acc = mergeTransparent(op, acc,
-                                               subs[g].color().at(x, y));
+                        merged = mergeTransparent(op, merged,
+                                                  subs[g].color().at(x, y));
                     }
                     if (!any)
                         continue;
                     target.color().at(x, y) = finalizeTransparent(
-                        op, acc, target.color().at(x, y));
+                        op, merged, target.color().at(x, y));
                     target.markWritten(x, y);
                 }
             }

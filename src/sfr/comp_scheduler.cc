@@ -29,10 +29,39 @@ applySelfMerge(const CompositionJob &job, const TimingParams &timing,
 
 } // namespace
 
+void
+checkCompositionJob(const CompositionJob &job, bool opaque_routing)
+{
+    unsigned n = job.num_gpus;
+    CHOPIN_ASSERT(n >= 1, "composition job without GPUs");
+    CHOPIN_ASSERT(job.ready.size() == n && job.self_pixels.size() == n &&
+                      job.subimage_pixels.size() == n &&
+                      job.pair_pixels.size() ==
+                          static_cast<std::size_t>(n) * n,
+                  "composition job vectors not sized for ", n, " GPUs");
+    for (GpuId g = 0; g < n; ++g) {
+        CHOPIN_ASSERT(job.pairPixels(g, g) == 0, "GPU ", g,
+                      " routes pixels to itself via the pair matrix");
+        CHOPIN_ASSERT(job.subimage_pixels[g] <= job.screen_pixels, "GPU ", g,
+                      " sub-image larger than the screen: ",
+                      job.subimage_pixels[g], " > ", job.screen_pixels);
+        if (!opaque_routing)
+            continue;
+        std::uint64_t routed = job.self_pixels[g];
+        for (GpuId dst = 0; dst < n; ++dst)
+            routed += job.pairPixels(g, dst);
+        CHOPIN_ASSERT(routed == job.subimage_pixels[g], "GPU ", g,
+                      " sub-image ownership leak: ", routed,
+                      " pixels routed vs ", job.subimage_pixels[g],
+                      " touched");
+    }
+}
+
 CompositionTiming
 composeOpaqueDirectSend(const CompositionJob &job, Interconnect &net,
                         const TimingParams &timing)
 {
+    checkCompositionJob(job, /*opaque_routing=*/true);
     unsigned n = job.num_gpus;
     CompositionTiming out;
     out.gpu_done.assign(n, 0);
@@ -91,6 +120,7 @@ CompositionTiming
 composeOpaqueScheduled(const CompositionJob &job, Interconnect &net,
                        const TimingParams &timing)
 {
+    checkCompositionJob(job, /*opaque_routing=*/true);
     unsigned n = job.num_gpus;
     CompositionTiming out;
     out.gpu_done.assign(n, 0);
@@ -227,6 +257,7 @@ CompositionTiming
 composeTransparentChain(const CompositionJob &job, Interconnect &net,
                         const TimingParams &timing)
 {
+    checkCompositionJob(job, /*opaque_routing=*/false);
     unsigned n = job.num_gpus;
     CompositionTiming out;
     out.gpu_done.assign(n, 0);
@@ -263,6 +294,7 @@ CompositionTiming
 composeTransparentTree(const CompositionJob &job, Interconnect &net,
                        const TimingParams &timing)
 {
+    checkCompositionJob(job, /*opaque_routing=*/false);
     unsigned n = job.num_gpus;
     CompositionTiming out;
     out.gpu_done.assign(n, 0);

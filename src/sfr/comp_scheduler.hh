@@ -61,6 +61,19 @@ struct CompositionJob
     }
 };
 
+/**
+ * Composition-ownership invariant of a job: vectors are sized for
+ * num_gpus, the diagonal of pair_pixels is empty, and no sub-image
+ * exceeds the screen. With @p opaque_routing (the opaque composers, which
+ * route regions through the pair matrix), additionally every touched
+ * sub-image pixel must be routed to exactly one destination: per GPU
+ * self_pixels + sum over dst of pair_pixels == subimage_pixels.
+ * Transparent composers move whole partial composites and ignore the pair
+ * matrix, so only the weak form applies. Fails through the check layer;
+ * called by every compose* entry point.
+ */
+void checkCompositionJob(const CompositionJob &job, bool opaque_routing);
+
 /** Timing outcome of one composition phase. */
 struct CompositionTiming
 {

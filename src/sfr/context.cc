@@ -3,19 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.hh"
 #include "util/log.hh"
 
 namespace chopin
 {
 
-SimContext::SimContext(const SystemConfig &config, const FrameTrace &trace,
+SimContext::SimContext(const SystemConfig &config, const FrameTrace &frame,
                        const LinkParams &link)
-    : cfg(config), trace(trace), vp(trace.viewport),
+    : cfg(config), trace(frame), vp(frame.viewport),
       grid(vp.width, vp.height, config.num_gpus, config.tile_size,
            config.tile_assignment),
       net(config.num_gpus, link)
 {
-    chopin_assert(cfg.num_gpus >= 1 && cfg.num_gpus <= 64);
+    CHOPIN_CHECK(cfg.num_gpus >= 1 && cfg.num_gpus <= 64);
+    CHOPIN_DCHECK(grid.ownersPartitionScreen(),
+                  "tile grid does not partition the ", vp.width, "x",
+                  vp.height, " screen across ", cfg.num_gpus, " GPUs");
     pipes.reserve(cfg.num_gpus);
     for (unsigned g = 0; g < cfg.num_gpus; ++g)
         pipes.emplace_back(cfg.timing);
@@ -112,6 +116,12 @@ SimContext::textureFor(const DrawCommand &cmd) const
 FrameResult
 SimContext::finish(Scheme scheme, Tick end)
 {
+    // Frame-boundary invariants: traffic accounting must conserve bytes
+    // across the injection and delivery paths, and every message must have
+    // arrived within the frame's reported cycle count.
+    net.checkFlowConservation();
+    net.checkDrained(end);
+
     FrameResult r;
     r.scheme = scheme;
     r.num_gpus = cfg.num_gpus;

@@ -6,10 +6,11 @@ namespace chopin
 {
 
 DrawCommandScheduler::DrawCommandScheduler(
-    const std::vector<GpuPipeline> &pipes, DrawPolicy policy,
+    const std::vector<GpuPipeline> &gpu_pipes, DrawPolicy sched_policy,
     std::uint64_t update_tris)
-    : pipes(pipes), policy(policy), updateTris(std::max<std::uint64_t>(1, update_tris)),
-      scheduledTris(pipes.size(), 0), lastReported(pipes.size(), 0)
+    : pipes(gpu_pipes), policy(sched_policy),
+      updateTris(std::max<std::uint64_t>(1, update_tris)),
+      scheduledTris(gpu_pipes.size(), 0), lastReported(gpu_pipes.size(), 0)
 {
     chopin_assert(!pipes.empty());
 }

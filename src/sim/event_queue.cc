@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "util/log.hh"
+#include "util/check.hh"
 
 namespace chopin
 {
@@ -10,8 +10,9 @@ namespace chopin
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
-    chopin_assert(when >= currentTick,
+    CHOPIN_ASSERT(when >= currentTick,
                   "event scheduled into the past: ", when, " < ", currentTick);
+    CHOPIN_ASSERT(cb != nullptr, "null callback scheduled at ", when);
     events.push(Entry{when, nextSeq++, std::move(cb)});
 }
 
@@ -33,6 +34,10 @@ EventQueue::runUntil(Tick limit)
         Tick when = top.when;
         Callback cb = std::move(top.cb);
         events.pop();
+        // Simulated time is monotone: the heap can never surface an event
+        // earlier than one already executed.
+        CHOPIN_ASSERT(when >= currentTick, "time ran backwards: ", when,
+                      " < ", currentTick);
         currentTick = when;
         cb();
     }

@@ -144,7 +144,7 @@ apportion(std::uint64_t total, const std::vector<double> &weights,
     std::vector<std::pair<double, std::size_t>> remainders(n);
     std::uint64_t assigned = 0;
     for (std::size_t i = 0; i < n; ++i) {
-        double share = budget * (weights[i] / wsum);
+        double share = static_cast<double>(budget) * (weights[i] / wsum);
         std::uint64_t whole = static_cast<std::uint64_t>(share);
         out[i] += whole;
         assigned += whole;

@@ -1,0 +1,77 @@
+#include "util/check.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace chopin
+{
+
+namespace
+{
+
+std::string cliToolName; // non-empty = CLI diagnostic mode
+
+void
+cliHandler(const CheckFailure &failure)
+{
+    std::cerr << cliToolName << ": error: "
+              << (failure.message.empty() ? failure.condition
+                                          : failure.message.c_str())
+              << "\n";
+    std::exit(2);
+}
+
+void
+defaultHandler(const CheckFailure &failure)
+{
+    std::cerr << failure.toString() << std::endl;
+    // Abort (not exit) so a debugger / core dump captures the violation.
+    std::abort();
+}
+
+CheckHandler currentHandler = nullptr; // nullptr = defaultHandler
+
+} // namespace
+
+std::string
+CheckFailure::toString() const
+{
+    std::ostringstream os;
+    os << kind << " failed: " << condition;
+    if (!message.empty())
+        os << ": " << message;
+    os << " (" << file << ":" << line << ")";
+    return os.str();
+}
+
+CheckHandler
+setCheckHandler(CheckHandler handler)
+{
+    CheckHandler prev = currentHandler;
+    currentHandler = handler;
+    return prev;
+}
+
+void
+setCliCheckTool(std::string_view tool_name)
+{
+    cliToolName.assign(tool_name);
+    currentHandler = cliHandler;
+}
+
+namespace detail
+{
+
+void
+dispatchCheckFailure(const CheckFailure &failure)
+{
+    CheckHandler handler = currentHandler ? currentHandler : defaultHandler;
+    handler(failure);
+    // The handler contract is "do not return"; enforce it.
+    defaultHandler(failure);
+    std::abort(); // unreachable; keeps [[noreturn]] honest for the compiler
+}
+
+} // namespace detail
+
+} // namespace chopin

@@ -15,6 +15,8 @@
 #include <sstream>
 #include <string_view>
 
+#include "util/check.hh"
+
 namespace chopin
 {
 
@@ -87,12 +89,9 @@ panic(const Args &...args)
     detail::die("panic", os.str(), true);
 }
 
-/** panic() unless @p cond holds. */
-#define chopin_assert(cond, ...)                                             \
-    do {                                                                     \
-        if (!(cond))                                                         \
-            ::chopin::panic("assertion failed: " #cond " ", ##__VA_ARGS__);  \
-    } while (0)
+/** Legacy spelling of CHOPIN_CHECK (always-on contract check); new code
+ *  uses the util/check.hh macros directly. */
+#define chopin_assert(...) CHOPIN_CHECK(__VA_ARGS__)
 
 } // namespace chopin
 

@@ -204,8 +204,9 @@ TEST_P(TransparentOpTest, FinalizeMatchesMergeOntoOpaqueBackground)
         EXPECT_NEAR(fin.r, merged.r, 1e-6f);
         EXPECT_NEAR(fin.g, merged.g, 1e-6f);
         EXPECT_NEAR(fin.b, merged.b, 1e-6f);
-        if (op == BlendOp::Over)
+        if (op == BlendOp::Over) {
             EXPECT_NEAR(fin.a, merged.a, 1e-6f);
+        }
     }
 }
 

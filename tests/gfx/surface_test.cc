@@ -153,6 +153,50 @@ TEST(Surface, DepthTestDisabledAlwaysWrites)
     EXPECT_EQ(stats2.frags_early_pass + stats2.frags_late_pass, 0u);
 }
 
+TEST(SurfaceHash, IdenticalContentHashesEqual)
+{
+    Surface a(8, 8), b(8, 8);
+    a.clear({0.1f, 0.2f, 0.3f, 1.0f}, 1.0f);
+    b.clear({0.1f, 0.2f, 0.3f, 1.0f}, 1.0f);
+    DrawStats st;
+    a.applyFragment(frag(3, 4, 0.5f, {1, 0, 0, 1}), opaqueState(), 2, 0.5f,
+                    st);
+    b.applyFragment(frag(3, 4, 0.5f, {1, 0, 0, 1}), opaqueState(), 2, 0.5f,
+                    st);
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+    EXPECT_EQ(frameHash(a.color()), frameHash(b.color()));
+}
+
+TEST(SurfaceHash, SinglePixelChangeChangesHash)
+{
+    Surface a(8, 8), b(8, 8);
+    a.clear({0, 0, 0, 1}, 1.0f);
+    b.clear({0, 0, 0, 1}, 1.0f);
+    DrawStats st;
+    b.applyFragment(frag(7, 7, 0.5f, {0, 1, 0, 1}), opaqueState(), 0, 0.5f,
+                    st);
+    EXPECT_NE(a.contentHash(), b.contentHash());
+    EXPECT_NE(frameHash(a.color()), frameHash(b.color()));
+}
+
+TEST(SurfaceHash, DimensionsFeedTheHash)
+{
+    // A 2x8 and an 8x2 image with identical bytes must not collide.
+    Surface a(2, 8), b(8, 2);
+    a.clear({0.5f, 0.5f, 0.5f, 1.0f}, 1.0f);
+    b.clear({0.5f, 0.5f, 0.5f, 1.0f}, 1.0f);
+    EXPECT_NE(frameHash(a.color()), frameHash(b.color()));
+}
+
+TEST(SurfaceHash, DepthOnlyChangeChangesContentHash)
+{
+    Surface a(4, 4), b(4, 4);
+    a.clear({0, 0, 0, 1}, 1.0f);
+    b.clear({0, 0, 0, 1}, 0.5f);
+    EXPECT_EQ(frameHash(a.color()), frameHash(b.color()));
+    EXPECT_NE(a.contentHash(), b.contentHash());
+}
+
 TEST(Blend, OverMatchesFormula)
 {
     Color src{1.0f, 0.0f, 0.0f, 0.25f};

@@ -148,6 +148,19 @@ TEST(Tiles, BlockedAssignmentCoversAllGpus)
         EXPECT_TRUE(seen[g]) << "GPU " << g << " owns no tiles";
 }
 
+TEST(Tiles, OwnersPartitionScreenUnderEveryAssignment)
+{
+    // The composition-ownership invariant: every pixel has exactly one
+    // owner below the GPU count, for awkward sizes and both assignments.
+    for (TileAssignment a :
+         {TileAssignment::Interleaved, TileAssignment::Blocked}) {
+        EXPECT_TRUE(TileGrid(130, 70, 3, 32, a).ownersPartitionScreen());
+        EXPECT_TRUE(TileGrid(1280, 1024, 8, 64, a).ownersPartitionScreen());
+        EXPECT_TRUE(TileGrid(1, 1, 1, 64, a).ownersPartitionScreen());
+        EXPECT_TRUE(TileGrid(63, 129, 5, 64, a).ownersPartitionScreen());
+    }
+}
+
 TEST(Tiles, SmallTriangleTouchesFewerGpusUnderBlocked)
 {
     // The tradeoff behind the paper's interleaving: blocked assignment

@@ -56,9 +56,16 @@ TEST_P(CompositionLiveness, CompletesForRandomReadyTimes)
             for (Tick &r : ready)
                 r = rng.nextBounded(100000);
             CompositionJob job = makeJob(ready);
-            // Randomize region sizes too.
+            // Randomize region sizes too, keeping the ownership invariant:
+            // routed pixels must equal the touched sub-image pixels.
             for (std::uint64_t &p : job.pair_pixels)
                 p = p ? rng.nextBounded(20000) : 0;
+            for (unsigned g = 0; g < n; ++g) {
+                std::uint64_t routed = job.self_pixels[g];
+                for (unsigned dst = 0; dst < n; ++dst)
+                    routed += job.pairPixels(g, dst);
+                job.subimage_pixels[g] = routed;
+            }
             Interconnect net(n, link);
             CompositionTiming t = fn(job, net, timing);
             Tick max_ready = *std::max_element(job.ready.begin(),

@@ -113,8 +113,9 @@ TEST_P(PartitionTest, OwnersOnlyChargesGeometryToOwners)
     // Primitives spanning several GPUs' tiles are duplicated to each owner.
     EXPECT_GE(total_owned, 4u);
     EXPECT_EQ(total_tris_in, total_owned);
-    if (n == 1)
+    if (n == 1) {
         EXPECT_EQ(total_owned, 4u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(GpuCounts, PartitionTest,

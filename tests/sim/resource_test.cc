@@ -48,5 +48,53 @@ TEST(Resource, ResetClears)
     EXPECT_EQ(r.busyTime(), 0u);
 }
 
+#if CHOPIN_CHECK_LEVEL >= 1
+TEST(ResourceDeath, ClaimOverflowingTickHorizonPanics)
+{
+    Resource r;
+    r.claim(0, 10);
+    // A negative duration from a bad float conversion wraps to ~2^64.
+    EXPECT_DEATH(r.claim(0, ~Tick(0) - 5), "overflows the tick horizon");
+}
+#endif
+
+TEST(Occupancy, CountsWithinCapacity)
+{
+    Occupancy occ(3);
+    EXPECT_TRUE(occ.empty());
+    occ.acquire(2);
+    occ.acquire();
+    EXPECT_EQ(occ.used(), 3u);
+    EXPECT_EQ(occ.capacity(), 3u);
+    occ.release(3);
+    EXPECT_TRUE(occ.empty());
+}
+
+TEST(Occupancy, UnboundedByDefault)
+{
+    Occupancy occ;
+    occ.acquire(1u << 20);
+    EXPECT_EQ(occ.used(), 1u << 20);
+    occ.reset();
+    EXPECT_TRUE(occ.empty());
+}
+
+#if CHOPIN_CHECK_LEVEL >= 1
+TEST(OccupancyDeath, AcquireAboveCapacityPanics)
+{
+    Occupancy occ(2);
+    occ.acquire(2);
+    EXPECT_DEATH(occ.acquire(), "occupancy above capacity");
+}
+
+TEST(OccupancyDeath, ReleaseBelowZeroPanics)
+{
+    Occupancy occ(4);
+    occ.acquire();
+    occ.release();
+    EXPECT_DEATH(occ.release(), "occupancy below zero");
+}
+#endif
+
 } // namespace
 } // namespace chopin

@@ -54,7 +54,7 @@ TEST(LogDeath, PanicAborts)
 TEST(LogDeath, AssertMacroFiresWithMessage)
 {
     EXPECT_DEATH(chopin_assert(1 == 2, "math is off by ", 1),
-                 "assertion failed: 1 == 2 math is off by 1");
+                 "CHECK failed: 1 == 2: math is off by 1");
 }
 
 } // namespace

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Repo lint: simulator-specific source rules for the CHOPIN code base.
+
+Rules (each can be suppressed on a line with `// lint:allow(<rule>)`):
+
+  rng          No rand()/srand()/std::random_device/drand48 outside
+               src/util/rng.* — all randomness flows through the seeded
+               chopin::Rng so simulations stay reproducible.
+  wallclock    No wall-clock or host-time sources (std::chrono clocks,
+               time(), gettimeofday(), clock(), ...) in src/sim and
+               src/sfr — simulated time is the only clock the timing
+               model may observe.
+  tick-float   No implicit float/double -> Tick conversions: a Tick
+               initialised or assigned from a floating expression must go
+               through static_cast<Tick>(...), and C-style (Tick)/(float)
+               /(double) casts are banned in src/ — truncation and
+               negative wrap-around must be explicit and reviewable.
+
+Run as a ctest (`ctest -R repo_lint`) or directly:
+
+  python3 tools/lint_check.py /path/to/repo
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+SRC_EXTENSIONS = {".cc", ".hh"}
+
+RNG_RE = re.compile(
+    r"(?<![\w:])(?:std::)?(?:rand|srand|drand48|random_device)\s*\(|"
+    r"std::random_device\b")
+WALLCLOCK_RE = re.compile(
+    r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b|"
+    r"(?<![\w:.])(?:time|gettimeofday|clock|localtime|gmtime)\s*\(")
+# A Tick declared/assigned from an expression containing floating content
+# without an explicit static_cast.
+TICK_ASSIGN_RE = re.compile(r"\bTick\s+\w+\s*=\s*(?P<rhs>[^;]*);")
+FLOATING_RE = re.compile(r"\d\.\d|\b(?:float|double)\b|\.0f\b")
+CSTYLE_CAST_RE = re.compile(r"\(\s*(?:Tick|float|double)\s*\)\s*[\w(]")
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\((?P<rules>[\w,\- ]+)\)")
+
+
+def strip_comments_and_strings(line: str,
+                               in_block: bool) -> tuple[str, str, bool]:
+    """Return (code, comment, in_block) with literals blanked out."""
+    out = []
+    comment = []
+    i, n = 0, len(line)
+    while i < n:
+        if in_block:
+            end = line.find("*/", i)
+            if end == -1:
+                comment.append(line[i:])
+                i = n
+            else:
+                comment.append(line[i:end + 2])
+                i = end + 2
+                in_block = False
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            comment.append(line[i:])
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block = True
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), "".join(comment), in_block
+
+
+def allowed(comment: str, rule: str) -> bool:
+    m = ALLOW_RE.search(comment)
+    return bool(m) and rule in [r.strip() for r in m.group("rules").split(",")]
+
+
+def lint_file(path: pathlib.Path, rel: str) -> list[str]:
+    violations = []
+    in_sim_or_sfr = rel.startswith(("src/sim/", "src/sfr/"))
+    is_rng_impl = rel.startswith("src/util/rng")
+    in_block_comment = False
+
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        code, comment, in_block_comment = strip_comments_and_strings(
+            raw, in_block_comment)
+
+        def report(rule: str, what: str) -> None:
+            if not allowed(comment, rule):
+                violations.append(f"{rel}:{lineno}: [{rule}] {what}")
+
+        if not is_rng_impl and RNG_RE.search(code):
+            report("rng", "raw randomness source; use chopin::Rng "
+                          "(src/util/rng.hh)")
+        if in_sim_or_sfr and WALLCLOCK_RE.search(code):
+            report("wallclock", "wall-clock / host-time source in the "
+                                "timing model; only simulated Ticks may "
+                                "drive it")
+        m = TICK_ASSIGN_RE.search(code)
+        if m and FLOATING_RE.search(m.group("rhs")) and \
+                "static_cast" not in m.group("rhs"):
+            report("tick-float", "floating expression assigned to a Tick "
+                                 "without static_cast<Tick>(...)")
+        if CSTYLE_CAST_RE.search(code):
+            report("tick-float", "C-style cast involving Tick/float/double; "
+                                 "use static_cast")
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: lint_check.py <repo-root>", file=sys.stderr)
+        return 2
+    root = pathlib.Path(argv[1]).resolve()
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint_check.py: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    violations: list[str] = []
+    files = 0
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in SRC_EXTENSIONS:
+            continue
+        files += 1
+        violations += lint_file(path, path.relative_to(root).as_posix())
+
+    for v in violations:
+        print(v)
+    print(f"lint_check: {files} files, {len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "core/chopin.hh"
+#include "util/check.hh"
 
 namespace
 {
@@ -46,6 +47,10 @@ main(int argc, char **argv)
 {
     using namespace chopin;
 
+    // Malformed arguments produce a "render_trace: error: ..." line and
+    // exit code 2 instead of an assertion abort deep inside the library.
+    setCliCheckTool("render_trace");
+
     CommandLine cli("render a CHOPIN trace to an image");
     cli.addFlag("scheme", "chopin+cs", "rendering scheme");
     cli.addFlag("gpus", "8", "number of GPUs");
@@ -59,8 +64,12 @@ main(int argc, char **argv)
     if (!loadTrace(trace, cli.positional()[0]))
         fatal("cannot open '", cli.positional()[0], "'");
 
+    long gpus = cli.getInt("gpus");
+    CHOPIN_CHECK(gpus >= 1 && gpus <= 64,
+                 "--gpus must be in [1, 64], got ", gpus);
+
     SystemConfig cfg;
-    cfg.num_gpus = static_cast<unsigned>(cli.getInt("gpus"));
+    cfg.num_gpus = static_cast<unsigned>(gpus);
     Scheme scheme = schemeByName(cli.getString("scheme"));
     FrameResult r = runScheme(scheme, cfg, trace);
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over every src/ translation unit with the repo .clang-tidy.
+
+Registered as the `clang_tidy` ctest when a clang-tidy binary is found at
+configure time; CI runs it with warnings-as-errors. Usage:
+
+  python3 tools/run_tidy.py [--clang-tidy BIN] [--build-dir DIR] repo_root
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    ap.add_argument("--build-dir", default="build",
+                    help="build tree containing compile_commands.json")
+    ap.add_argument("root", type=pathlib.Path)
+    args = ap.parse_args()
+
+    root = args.root.resolve()
+    build = pathlib.Path(args.build_dir)
+    if not (build / "compile_commands.json").is_file():
+        print(f"run_tidy.py: no compile_commands.json in {build} "
+              "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+              file=sys.stderr)
+        return 2
+
+    sources = sorted(str(p) for p in (root / "src").rglob("*.cc"))
+    if not sources:
+        print("run_tidy.py: no sources under src/", file=sys.stderr)
+        return 2
+
+    cmd = [args.clang_tidy, "-p", str(build), "--quiet",
+           "--warnings-as-errors=*"] + sources
+    print("running:", " ".join(cmd[:5]), f"... ({len(sources)} files)")
+    try:
+        proc = subprocess.run(cmd)
+    except FileNotFoundError:
+        print(f"run_tidy.py: clang-tidy binary '{args.clang_tidy}' not found",
+              file=sys.stderr)
+        return 2
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

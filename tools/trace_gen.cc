@@ -10,11 +10,16 @@
 #include <iostream>
 
 #include "core/chopin.hh"
+#include "util/check.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace chopin;
+
+    // Malformed arguments produce a "trace_gen: error: ..." line and exit
+    // code 2 instead of an assertion abort deep inside the library.
+    setCliCheckTool("trace_gen");
 
     CommandLine cli("generate a CHOPIN benchmark trace");
     cli.addFlag("bench", "ut3", "benchmark profile (cod2 cry grid mirror "
@@ -24,11 +29,16 @@ main(int argc, char **argv)
     cli.addFlag("out", "", "output path (default: <bench>.trace)");
     cli.parse(argc, argv);
 
+    long scale = cli.getInt("scale");
+    CHOPIN_CHECK(scale >= 1 && scale <= 1000000,
+                 "--scale must be in [1, 1000000], got ", scale);
+    long seed = cli.getInt("seed");
+    CHOPIN_CHECK(seed >= 0, "--seed must be non-negative, got ", seed);
+
     BenchmarkProfile profile = scaleProfile(
-        benchmarkProfile(cli.getString("bench")),
-        static_cast<int>(cli.getInt("scale")));
-    if (cli.getInt("seed") != 0)
-        profile.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+        benchmarkProfile(cli.getString("bench")), static_cast<int>(scale));
+    if (seed != 0)
+        profile.seed = static_cast<std::uint64_t>(seed);
 
     FrameTrace trace = generateTrace(profile);
     std::string out = cli.getString("out");
