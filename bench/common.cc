@@ -18,6 +18,10 @@ Harness::Harness(std::string description, int default_scale)
     cli.addFlag("bench", "all",
                 "benchmark: cod2 cry grid mirror nfs stal ut3 wolf or 'all'");
     cli.addFlag("csv", "true", "print a CSV block after each table");
+    cli.addFlag("jobs", "0",
+                "host worker threads for the functional renderer "
+                "(0 = CHOPIN_JOBS env or hardware concurrency; results are "
+                "bit-identical at any value)");
 }
 
 void
@@ -26,6 +30,7 @@ Harness::parse(int argc, char **argv)
     cli.parse(argc, argv);
     scale_div = static_cast<int>(cli.getInt("scale"));
     gpu_count = static_cast<unsigned>(cli.getInt("gpus"));
+    setGlobalJobs(static_cast<unsigned>(cli.getInt("jobs")));
     std::string bench = cli.getString("bench");
     if (bench == "all") {
         for (const BenchmarkProfile &p : allBenchmarkProfiles())

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Wall-clock performance harness for the host-parallel rendering engine.
+ *
+ * Renders each Table III benchmark frame under SingleGpu, Duplication,
+ * GPUpd, CHOPIN and CHOPIN+CompSched twice: once with --jobs=1 (serial) and
+ * once with the requested job count. For every (benchmark, scheme) pair it
+ * asserts that the frame hash, full surface content hash, simulated cycle
+ * count and all functional totals are identical — host parallelism must not
+ * perturb the simulation — and reports ns/frame, Mtris/s and the
+ * serial-over-parallel speedup, plus the geometric-mean speedup.
+ *
+ * Unlike the fig* harnesses this measures *host* wall-clock time
+ * (std::chrono), not simulated cycles; the simulated results are the
+ * determinism oracle, not the metric. Writes a JSON summary (default
+ * BENCH_frame.json) consumed by tools/bench_json.py.
+ */
+
+#include "common.hh"
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+
+namespace
+{
+
+using chopin::DrawStats;
+using chopin::FrameResult;
+
+/** Wall-clock nanoseconds of one invocation of @p fn (steady clock). */
+template <typename Fn>
+double
+elapsedNs(Fn &&fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+}
+
+/** Assert that two runs of one configuration are simulation-identical. */
+void
+checkIdentical(const FrameResult &serial, const FrameResult &parallel,
+               const std::string &what)
+{
+    chopin_assert(serial.frame_hash == parallel.frame_hash,
+                  what, ": frame hash differs between --jobs=1 and --jobs=N");
+    chopin_assert(serial.content_hash == parallel.content_hash,
+                  what, ": surface content hash differs across job counts");
+    chopin_assert(serial.cycles == parallel.cycles,
+                  what, ": simulated cycle count differs across job counts");
+    const DrawStats &a = serial.totals;
+    const DrawStats &b = parallel.totals;
+    chopin_assert(a.verts_shaded == b.verts_shaded &&
+                      a.tris_in == b.tris_in &&
+                      a.tris_clipped == b.tris_clipped &&
+                      a.tris_culled == b.tris_culled &&
+                      a.tris_rasterized == b.tris_rasterized &&
+                      a.tris_coarse_rejected == b.tris_coarse_rejected &&
+                      a.frags_generated == b.frags_generated &&
+                      a.frags_early_pass == b.frags_early_pass &&
+                      a.frags_early_fail == b.frags_early_fail &&
+                      a.frags_late_pass == b.frags_late_pass &&
+                      a.frags_late_fail == b.frags_late_fail &&
+                      a.frags_shaded == b.frags_shaded &&
+                      a.frags_textured == b.frags_textured &&
+                      a.frags_written == b.frags_written,
+                  what, ": functional totals differ across job counts");
+    chopin_assert(serial.geom_busy == parallel.geom_busy &&
+                      serial.raster_busy == parallel.raster_busy &&
+                      serial.frag_busy == parallel.frag_busy,
+                  what, ": stage busy cycles differ across job counts");
+}
+
+struct Measurement
+{
+    std::string bench;
+    std::string scheme;
+    std::uint64_t tris = 0;
+    double ns_serial = 0.0;
+    double ns_parallel = 0.0;
+    double speedup = 0.0;
+    std::uint64_t frame_hash = 0;
+    std::uint64_t cycles = 0;
+};
+
+double
+mtrisPerSecond(std::uint64_t tris, double ns)
+{
+    return ns <= 0.0 ? 0.0 : static_cast<double>(tris) * 1000.0 / ns;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace chopin;
+    using namespace chopin::bench;
+
+    Harness h("Wall-clock frame rendering: serial vs parallel host engine",
+              8);
+    h.addFlag("repeat", "3", "timed repetitions per configuration (best-of)");
+    h.addFlag("out", "BENCH_frame.json",
+              "JSON summary path (empty = don't write)");
+    h.parse(argc, argv);
+
+    // parse() applied --jobs (default: CHOPIN_JOBS env or hardware
+    // concurrency); remember it before the serial passes override it.
+    unsigned jobs_parallel = globalJobs();
+    int repeat = std::max(1, static_cast<int>(h.flags().getInt("repeat")));
+    std::string out_path = h.flags().getString("out");
+
+    const Scheme schemes[] = {Scheme::SingleGpu, Scheme::Duplication,
+                              Scheme::Gpupd, Scheme::Chopin,
+                              Scheme::ChopinCompSched};
+
+    TextTable table({"benchmark", "scheme", "ktris", "ns/frame j1",
+                     "ns/frame j" + std::to_string(jobs_parallel),
+                     "Mtris/s", "speedup"});
+    std::vector<Measurement> measurements;
+    std::vector<double> speedups;
+
+    for (const std::string &name : h.benchmarks()) {
+        const FrameTrace &tr = h.trace(name);
+        std::uint64_t tris = 0;
+        for (const DrawCommand &cmd : tr.draws)
+            tris += cmd.triangleCount();
+
+        SystemConfig cfg;
+        cfg.num_gpus = h.gpus();
+
+        for (Scheme scheme : schemes) {
+            Measurement m;
+            m.bench = name;
+            m.scheme = toString(scheme);
+            m.tris = tris;
+
+            FrameResult serial;
+            FrameResult parallel;
+            m.ns_serial = std::numeric_limits<double>::infinity();
+            m.ns_parallel = std::numeric_limits<double>::infinity();
+
+            setGlobalJobs(1);
+            for (int rep = 0; rep < repeat; ++rep) {
+                double ns = elapsedNs(
+                    [&] { serial = runScheme(scheme, cfg, tr); });
+                m.ns_serial = std::min(m.ns_serial, ns);
+            }
+
+            setGlobalJobs(jobs_parallel);
+            for (int rep = 0; rep < repeat; ++rep) {
+                double ns = elapsedNs(
+                    [&] { parallel = runScheme(scheme, cfg, tr); });
+                m.ns_parallel = std::min(m.ns_parallel, ns);
+            }
+
+            checkIdentical(serial, parallel, name + "/" + m.scheme);
+            m.speedup = m.ns_parallel > 0.0 ? m.ns_serial / m.ns_parallel
+                                            : 1.0;
+            m.frame_hash = serial.frame_hash;
+            m.cycles = serial.cycles;
+            measurements.push_back(m);
+            speedups.push_back(m.speedup);
+
+            table.addRow({name, m.scheme,
+                          std::to_string(tris / 1000),
+                          formatDouble(m.ns_serial, 0),
+                          formatDouble(m.ns_parallel, 0),
+                          formatDouble(mtrisPerSecond(tris, m.ns_parallel),
+                                       2),
+                          formatDouble(m.speedup, 2) + "x"});
+        }
+    }
+
+    double gmean_speedup = gmean(speedups);
+    table.addRow({"GMean", "-", "-", "-", "-", "-",
+                  formatDouble(gmean_speedup, 2) + "x"});
+    h.emit(table);
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        chopin_assert(out.good(), "cannot write ", out_path);
+        out << "{\n";
+        out << "  \"scale\": " << h.scale() << ",\n";
+        out << "  \"gpus\": " << h.gpus() << ",\n";
+        out << "  \"jobs_parallel\": " << jobs_parallel << ",\n";
+        out << "  \"repeat\": " << repeat << ",\n";
+        out << "  \"gmean_speedup\": " << gmean_speedup << ",\n";
+        out << "  \"results\": [\n";
+        for (std::size_t i = 0; i < measurements.size(); ++i) {
+            const Measurement &m = measurements[i];
+            out << "    {\"bench\": \"" << m.bench << "\", \"scheme\": \""
+                << m.scheme << "\", \"tris\": " << m.tris
+                << ", \"ns_frame_serial\": " << m.ns_serial
+                << ", \"ns_frame_parallel\": " << m.ns_parallel
+                << ", \"mtris_per_s\": "
+                << mtrisPerSecond(m.tris, m.ns_parallel)
+                << ", \"speedup\": " << m.speedup
+                << ", \"frame_hash\": " << m.frame_hash
+                << ", \"cycles\": " << m.cycles << "}"
+                << (i + 1 < measurements.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n";
+        out << "}\n";
+        std::cout << "wrote " << out_path << "\n";
+    }
+    return 0;
+}

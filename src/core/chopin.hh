@@ -40,6 +40,7 @@
 #include "trace/generator.hh"
 #include "trace/trace_io.hh"
 #include "util/cli.hh"
+#include "util/thread_pool.hh"
 
 namespace chopin
 {

@@ -86,9 +86,24 @@ signedArea2(const ScreenTriangle &t)
 } // namespace
 
 void
+ScreenTriangle::cacheBounds(int width, int height)
+{
+    bx1 = -1; // invalidate so boundingBox() computes instead of echoing
+    by1 = -1;
+    boundingBox(width, height, bx0, by0, bx1, by1);
+}
+
+void
 ScreenTriangle::boundingBox(int width, int height, int &x0, int &y0, int &x1,
                             int &y1) const
 {
+    if (boundsCached()) {
+        x0 = bx0;
+        y0 = by0;
+        x1 = bx1;
+        y1 = by1;
+        return;
+    }
     float fx0 = std::min({v[0].pos.x, v[1].pos.x, v[2].pos.x});
     float fy0 = std::min({v[0].pos.y, v[1].pos.y, v[2].pos.y});
     float fx1 = std::max({v[0].pos.x, v[1].pos.x, v[2].pos.x});
@@ -127,10 +142,11 @@ processPrimitive(const Triangle &tri, const Mat4 &mvp, const Viewport &vp,
         st.v[1] = toScreen(clipped[i], vp);
         st.v[2] = toScreen(clipped[i + 1], vp);
 
-        // Fully outside the viewport: clip trivially.
-        int x0, y0, x1, y1;
-        st.boundingBox(vp.width, vp.height, x0, y0, x1, y1);
-        if (x0 > x1 || y0 > y1) {
+        // Fully outside the viewport: clip trivially. cacheBounds() leaves
+        // an empty (uncached) box in that case; triangles that survive
+        // carry their clamped box for every downstream consumer.
+        st.cacheBounds(vp.width, vp.height);
+        if (!st.boundsCached()) {
             stats.tris_clipped += 1;
             continue;
         }

@@ -44,7 +44,27 @@ struct ScreenTriangle
 {
     ScreenVertex v[3];
 
-    /** Inclusive integer pixel bounding box, clamped to the viewport. */
+    /**
+     * Cached inclusive pixel bounding box, clamped to the viewport it was
+     * computed for. processPrimitive() fills it once; RenderFilter,
+     * tile binning and the rasterizer all reuse it instead of re-deriving
+     * min/max per consumer. bx1 < bx0 means "not cached" (e.g. a
+     * hand-constructed triangle in a test) and boundingBox() recomputes.
+     */
+    int bx0 = 0;
+    int by0 = 0;
+    int bx1 = -1;
+    int by1 = -1;
+
+    bool boundsCached() const { return bx1 >= bx0 && by1 >= by0; }
+
+    /** Compute and cache the clamped bounding box for a width x height
+     *  viewport. The cache is only meaningful for that viewport. */
+    void cacheBounds(int width, int height);
+
+    /** Inclusive integer pixel bounding box, clamped to the viewport.
+     *  Returns the cached box when present (all in-engine consumers use
+     *  the one viewport the cache was built for). */
     void boundingBox(int width, int height, int &x0, int &y0, int &x1,
                      int &y1) const;
 };

@@ -1,109 +1,24 @@
 #include "gfx/raster.hh"
 
-#include <algorithm>
-#include <cmath>
-
 namespace chopin
 {
-
-namespace
-{
-
-/**
- * Edge setup for the function e(x, y) = a*x + b*y + c, positive on the
- * interior side for a counter-clockwise triangle in a y-down coordinate
- * system after normalization.
- */
-struct Edge
-{
-    float a, b, c;
-    bool topLeft;
-
-    float eval(float x, float y) const { return a * x + b * y + c; }
-
-    /**
-     * Fill rule: a pixel on the edge (e == 0) is covered only if the edge
-     * is a top or left edge.
-     */
-    bool accepts(float e) const { return e > 0.0f || (e == 0.0f && topLeft); }
-};
-
-Edge
-makeEdge(const Vec2 &p0, const Vec2 &p1)
-{
-    Edge e;
-    e.a = p0.y - p1.y;
-    e.b = p1.x - p0.x;
-    e.c = p0.x * p1.y - p0.y * p1.x;
-    // The triangle is normalized so the interior is on the positive side of
-    // every edge. In y-down screen space a "top" edge is horizontal with the
-    // interior below it (e grows with y => b > 0); a "left" edge has the
-    // interior to its right (e grows with x => a > 0).
-    e.topLeft = e.a > 0.0f || (e.a == 0.0f && e.b > 0.0f);
-    return e;
-}
-
-} // namespace
 
 void
 rasterizeTriangle(const ScreenTriangle &tri_in, const Viewport &vp,
                   const FragmentSink &sink)
 {
-    ScreenTriangle tri = tri_in;
-    // Normalize winding so the interior is on the positive side of all edges.
-    float area2 =
-        (tri.v[1].pos.x - tri.v[0].pos.x) * (tri.v[2].pos.y - tri.v[0].pos.y) -
-        (tri.v[2].pos.x - tri.v[0].pos.x) * (tri.v[1].pos.y - tri.v[0].pos.y);
-    if (area2 == 0.0f)
-        return;
-    if (area2 < 0.0f) {
-        std::swap(tri.v[1], tri.v[2]);
-        area2 = -area2;
-    }
-
-    Edge e01 = makeEdge(tri.v[0].pos, tri.v[1].pos);
-    Edge e12 = makeEdge(tri.v[1].pos, tri.v[2].pos);
-    Edge e20 = makeEdge(tri.v[2].pos, tri.v[0].pos);
-
-    int x0, y0, x1, y1;
-    tri.boundingBox(vp.width, vp.height, x0, y0, x1, y1);
-    if (x0 > x1 || y0 > y1)
-        return;
-
-    float inv_area2 = 1.0f / area2;
-    const ScreenVertex &a = tri.v[0];
-    const ScreenVertex &b = tri.v[1];
-    const ScreenVertex &c = tri.v[2];
-
-    for (int y = y0; y <= y1; ++y) {
-        float py = static_cast<float>(y) + 0.5f;
-        for (int x = x0; x <= x1; ++x) {
-            float px = static_cast<float>(x) + 0.5f;
-            float w0 = e12.eval(px, py); // weight of vertex 0
-            float w1 = e20.eval(px, py); // weight of vertex 1
-            float w2 = e01.eval(px, py); // weight of vertex 2
-            if (!e12.accepts(w0) || !e20.accepts(w1) || !e01.accepts(w2))
-                continue;
-
-            float l0 = w0 * inv_area2;
-            float l1 = w1 * inv_area2;
-            float l2 = w2 * inv_area2;
-
-            Fragment frag;
-            frag.x = x;
-            frag.y = y;
-            frag.z = a.z * l0 + b.z * l1 + c.z * l2;
-            frag.color = a.color * l0 + b.color * l1 + c.color * l2;
-            sink(frag);
-        }
-    }
+    PixelRect full{0, 0, vp.width - 1, vp.height - 1};
+    rasterizeTriangleInRect(tri_in, vp, full,
+                            [&sink](const Fragment &frag) { sink(frag); });
 }
 
 std::uint64_t
 countCoverage(const ScreenTriangle &tri, const Viewport &vp)
 {
     std::uint64_t n = 0;
-    rasterizeTriangle(tri, vp, [&n](const Fragment &) { ++n; });
+    PixelRect full{0, 0, vp.width - 1, vp.height - 1};
+    rasterizeTriangleInRect(tri, vp, full,
+                            [&n](const Fragment &) { ++n; });
     return n;
 }
 

@@ -7,11 +7,21 @@
  * rasterizes for every SFR scheme, which is what makes the cross-scheme
  * image-equality oracle meaningful: schemes may only differ in *which* GPU
  * rasterizes a triangle and how fragments are merged, never in coverage.
+ *
+ * Two entry points share one inner loop:
+ *  - rasterizeTriangle(): whole-triangle, type-erased sink (std::function);
+ *  - rasterizeTriangleInRect(): restricted to a pixel rectangle with a
+ *    statically-typed sink — the binned parallel renderer rasterizes each
+ *    screen tile's bucket with it. Per-pixel arithmetic is identical in
+ *    both (edges are evaluated at absolute pixel centers), so splitting a
+ *    triangle across disjoint rectangles yields the exact fragments of one
+ *    whole-triangle pass.
  */
 
 #ifndef CHOPIN_GFX_RASTER_HH
 #define CHOPIN_GFX_RASTER_HH
 
+#include <algorithm>
 #include <functional>
 
 #include "gfx/geometry.hh"
@@ -31,13 +41,133 @@ struct Fragment
 /** Receives each covered fragment; return value is unused. */
 using FragmentSink = std::function<void(const Fragment &)>;
 
+/** Inclusive pixel rectangle (x0 <= x1 and y0 <= y1 when non-empty). */
+struct PixelRect
+{
+    int x0 = 0;
+    int y0 = 0;
+    int x1 = -1;
+    int y1 = -1;
+
+    bool empty() const { return x1 < x0 || y1 < y0; }
+};
+
+namespace raster_detail
+{
+
+/**
+ * Edge setup for the function e(x, y) = a*x + b*y + c, positive on the
+ * interior side for a counter-clockwise triangle in a y-down coordinate
+ * system after normalization.
+ */
+struct Edge
+{
+    float a, b, c;
+    bool topLeft;
+
+    float eval(float x, float y) const { return a * x + b * y + c; }
+
+    /**
+     * Fill rule: a pixel on the edge (e == 0) is covered only if the edge
+     * is a top or left edge.
+     */
+    bool accepts(float e) const { return e > 0.0f || (e == 0.0f && topLeft); }
+};
+
+inline Edge
+makeEdge(const Vec2 &p0, const Vec2 &p1)
+{
+    Edge e;
+    e.a = p0.y - p1.y;
+    e.b = p1.x - p0.x;
+    e.c = p0.x * p1.y - p0.y * p1.x;
+    // The triangle is normalized so the interior is on the positive side of
+    // every edge. In y-down screen space a "top" edge is horizontal with the
+    // interior below it (e grows with y => b > 0); a "left" edge has the
+    // interior to its right (e grows with x => a > 0).
+    e.topLeft = e.a > 0.0f || (e.a == 0.0f && e.b > 0.0f);
+    return e;
+}
+
+} // namespace raster_detail
+
+/**
+ * Rasterize @p tri_in into @p vp restricted to @p clip, invoking @p sink
+ * for every covered pixel whose center passes the top-left rule. Attribute
+ * interpolation is affine (screen-space barycentric), matching early-2000s
+ * fixed-function hardware. Triangles of either winding are filled (the
+ * caller performs backface culling during geometry processing).
+ *
+ * The sink is a template parameter so the per-fragment call inlines — the
+ * hot-path variant used by the binned renderer (no std::function
+ * indirection, no per-triangle allocation).
+ */
+template <typename Sink>
+inline void
+rasterizeTriangleInRect(const ScreenTriangle &tri_in, const Viewport &vp,
+                        const PixelRect &clip, Sink &&sink)
+{
+    ScreenTriangle tri = tri_in;
+    // Normalize winding so the interior is on the positive side of all edges.
+    float area2 =
+        (tri.v[1].pos.x - tri.v[0].pos.x) * (tri.v[2].pos.y - tri.v[0].pos.y) -
+        (tri.v[2].pos.x - tri.v[0].pos.x) * (tri.v[1].pos.y - tri.v[0].pos.y);
+    if (area2 == 0.0f)
+        return;
+    if (area2 < 0.0f) {
+        std::swap(tri.v[1], tri.v[2]);
+        area2 = -area2;
+    }
+
+    raster_detail::Edge e01 =
+        raster_detail::makeEdge(tri.v[0].pos, tri.v[1].pos);
+    raster_detail::Edge e12 =
+        raster_detail::makeEdge(tri.v[1].pos, tri.v[2].pos);
+    raster_detail::Edge e20 =
+        raster_detail::makeEdge(tri.v[2].pos, tri.v[0].pos);
+
+    int x0, y0, x1, y1;
+    tri_in.boundingBox(vp.width, vp.height, x0, y0, x1, y1);
+    x0 = std::max(x0, clip.x0);
+    y0 = std::max(y0, clip.y0);
+    x1 = std::min(x1, clip.x1);
+    y1 = std::min(y1, clip.y1);
+    if (x0 > x1 || y0 > y1)
+        return;
+
+    float inv_area2 = 1.0f / area2;
+    const ScreenVertex &a = tri.v[0];
+    const ScreenVertex &b = tri.v[1];
+    const ScreenVertex &c = tri.v[2];
+
+    for (int y = y0; y <= y1; ++y) {
+        float py = static_cast<float>(y) + 0.5f;
+        for (int x = x0; x <= x1; ++x) {
+            float px = static_cast<float>(x) + 0.5f;
+            float w0 = e12.eval(px, py); // weight of vertex 0
+            float w1 = e20.eval(px, py); // weight of vertex 1
+            float w2 = e01.eval(px, py); // weight of vertex 2
+            if (!e12.accepts(w0) || !e20.accepts(w1) || !e01.accepts(w2))
+                continue;
+
+            float l0 = w0 * inv_area2;
+            float l1 = w1 * inv_area2;
+            float l2 = w2 * inv_area2;
+
+            Fragment frag;
+            frag.x = x;
+            frag.y = y;
+            frag.z = a.z * l0 + b.z * l1 + c.z * l2;
+            frag.color = a.color * l0 + b.color * l1 + c.color * l2;
+            sink(frag);
+        }
+    }
+}
+
 /**
  * Rasterize @p tri into @p vp, invoking @p sink for every covered pixel
- * whose center passes the top-left rule. Attribute interpolation is affine
- * (screen-space barycentric), matching early-2000s fixed-function hardware.
- *
- * Triangles of either winding are filled (the caller performs backface
- * culling during geometry processing).
+ * whose center passes the top-left rule (whole-viewport variant with a
+ * type-erased sink, kept for tests and non-hot callers).
  */
 void rasterizeTriangle(const ScreenTriangle &tri, const Viewport &vp,
                        const FragmentSink &sink);

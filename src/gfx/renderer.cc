@@ -1,58 +1,243 @@
 #include "gfx/renderer.hh"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "util/log.hh"
+#include "util/thread_pool.hh"
 
 namespace chopin
 {
+
+namespace gfx_detail
+{
+
+BinGrid
+makeBinGrid(const Viewport &vp, const TileGrid *grid)
+{
+    BinGrid b;
+    if (grid != nullptr) {
+        // Bins are the ownership grid's own tiles: the touched-tile flag of
+        // a tile then has a single writer (the bucket rasterizing it), and
+        // in partitioned rendering every bucket maps to exactly one GPU.
+        b.size = grid->tileSize();
+        b.nx = grid->tilesX();
+        b.ny = grid->tilesY();
+    } else {
+        b.size = defaultTileSize;
+        b.nx = (vp.width + b.size - 1) / b.size;
+        b.ny = (vp.height + b.size - 1) / b.size;
+    }
+    return b;
+}
+
+void
+runGeometry(std::span<const Triangle> tris, const Mat4 &mvp,
+            const Viewport &vp, bool backface_cull, RenderScratch &scratch,
+            DrawStats &stats)
+{
+    scratch.screen_tris.clear();
+    std::size_t n = tris.size();
+
+    ThreadPool &pool = globalPool();
+    if (pool.jobs() <= 1 || n < geomParallelThreshold) {
+        for (const Triangle &tri : tris)
+            processPrimitive(tri, mvp, vp, backface_cull,
+                             scratch.screen_tris, stats);
+        return;
+    }
+
+    // Fixed chunk boundaries -> fixed output slots; concatenating the slots
+    // in chunk order reproduces the serial triangle order exactly.
+    std::size_t chunks = std::min<std::size_t>(
+        (n + 63) / 64, static_cast<std::size_t>(pool.jobs()) * 4);
+    std::size_t per = (n + chunks - 1) / chunks;
+    if (scratch.geom_tris.size() < chunks)
+        scratch.geom_tris.resize(chunks);
+    scratch.geom_stats.assign(chunks, DrawStats{});
+
+    pool.parallelFor(chunks, [&](std::size_t c) {
+        std::vector<ScreenTriangle> &out = scratch.geom_tris[c];
+        out.clear();
+        DrawStats &s = scratch.geom_stats[c];
+        std::size_t hi = std::min(n, (c + 1) * per);
+        for (std::size_t i = c * per; i < hi; ++i)
+            processPrimitive(tris[i], mvp, vp, backface_cull, out, s);
+    });
+
+    for (std::size_t c = 0; c < chunks; ++c) {
+        scratch.screen_tris.insert(scratch.screen_tris.end(),
+                                   scratch.geom_tris[c].begin(),
+                                   scratch.geom_tris[c].end());
+        stats += scratch.geom_stats[c];
+    }
+}
+
+std::uint64_t
+boxPixels(const ScreenTriangle &st)
+{
+    CHOPIN_DCHECK(st.boundsCached());
+    return static_cast<std::uint64_t>(st.bx1 - st.bx0 + 1) *
+           static_cast<std::uint64_t>(st.by1 - st.by0 + 1);
+}
+
+void
+binTriangles(RenderScratch &scratch, const BinGrid &bins)
+{
+    std::size_t nbins = static_cast<std::size_t>(bins.count());
+    scratch.bin_counts.assign(nbins, 0);
+
+    for (std::uint32_t idx : scratch.kept) {
+        const ScreenTriangle &st = scratch.screen_tris[idx];
+        int tx0 = st.bx0 / bins.size;
+        int tx1 = st.bx1 / bins.size;
+        int ty0 = st.by0 / bins.size;
+        int ty1 = st.by1 / bins.size;
+        for (int ty = ty0; ty <= ty1; ++ty)
+            for (int tx = tx0; tx <= tx1; ++tx)
+                scratch.bin_counts[static_cast<std::size_t>(ty * bins.nx +
+                                                            tx)] += 1;
+    }
+
+    // Exclusive scan: bin_counts[b] becomes the start offset of bucket b,
+    // then serves as the fill cursor. After filling, bin_counts[b] is the
+    // *end* offset of bucket b (start of b is the previous bucket's end).
+    std::uint32_t total = 0;
+    for (std::size_t b = 0; b < nbins; ++b) {
+        std::uint32_t count = scratch.bin_counts[b];
+        scratch.bin_counts[b] = total;
+        total += count;
+    }
+    scratch.bin_tris.resize(total);
+
+    for (std::uint32_t idx : scratch.kept) {
+        const ScreenTriangle &st = scratch.screen_tris[idx];
+        int tx0 = st.bx0 / bins.size;
+        int tx1 = st.bx1 / bins.size;
+        int ty0 = st.by0 / bins.size;
+        int ty1 = st.by1 / bins.size;
+        for (int ty = ty0; ty <= ty1; ++ty)
+            for (int tx = tx0; tx <= tx1; ++tx) {
+                std::size_t b = static_cast<std::size_t>(ty * bins.nx + tx);
+                scratch.bin_tris[scratch.bin_counts[b]++] = idx;
+            }
+    }
+
+    scratch.dense_bins.clear();
+    for (std::size_t b = 0; b < nbins; ++b) {
+        std::uint32_t lo = b == 0 ? 0 : scratch.bin_counts[b - 1];
+        if (scratch.bin_counts[b] > lo)
+            scratch.dense_bins.push_back(static_cast<std::uint32_t>(b));
+    }
+}
+
+} // namespace gfx_detail
+
+RenderScratch &
+threadRenderScratch()
+{
+    thread_local RenderScratch scratch;
+    return scratch;
+}
 
 DrawStats
 renderDraw(Surface &surface, const Viewport &vp, const DrawInput &in,
            const RenderFilter &filter, std::vector<std::uint8_t> *touched_tiles,
            const TileGrid *grid)
 {
+    using namespace gfx_detail;
+
     chopin_assert(surface.width() == vp.width &&
                   surface.height() == vp.height);
     chopin_assert(touched_tiles == nullptr || grid != nullptr,
                   "touched-tile tracking needs a tile grid");
 
+    RenderScratch &scratch = threadRenderScratch();
     DrawStats stats;
-    std::vector<ScreenTriangle> screen_tris;
-    screen_tris.reserve(2);
+    runGeometry(in.triangles, in.mvp, vp, in.backface_cull, scratch, stats);
 
-    for (const Triangle &tri : in.triangles) {
-        screen_tris.clear();
-        processPrimitive(tri, in.mvp, vp, in.backface_cull, screen_tris,
-                         stats);
-        for (const ScreenTriangle &st : screen_tris) {
-            if (!filter.mayTouch(st)) {
-                // The raster engine rejects the whole primitive against this
-                // GPU's tile set without fine rasterization.
-                stats.tris_rasterized -= 1;
-                stats.tris_coarse_rejected += 1;
-                continue;
-            }
-            rasterizeTriangle(st, vp, [&](const Fragment &frag) {
-                if (!filter.owns(frag.x, frag.y))
-                    return;
-                Fragment shaded = frag;
-                if (in.texture != nullptr) {
-                    // Screen-space sample: modulate with the texel under
-                    // the fragment (bloom/post-processing pattern).
-                    shaded.color =
-                        shaded.color * in.texture->at(frag.x, frag.y);
-                    stats.frags_textured += 1;
-                }
-                std::uint64_t written_before = stats.frags_written;
-                surface.applyFragment(shaded, in.state, in.draw_id,
-                                      in.alpha_ref, stats);
-                if (touched_tiles != nullptr &&
-                    stats.frags_written != written_before) {
-                    (*touched_tiles)[grid->tileIndexOfPixel(frag.x, frag.y)] =
-                        1;
-                }
-            });
+    // Coarse filter (raster-engine tile reject) + raster work estimate.
+    scratch.kept.clear();
+    std::uint64_t est_pixels = 0;
+    for (std::size_t i = 0; i < scratch.screen_tris.size(); ++i) {
+        const ScreenTriangle &st = scratch.screen_tris[i];
+        if (!filter.mayTouch(st)) {
+            // The raster engine rejects the whole primitive against this
+            // GPU's tile set without fine rasterization.
+            stats.tris_rasterized -= 1;
+            stats.tris_coarse_rejected += 1;
+            continue;
         }
+        scratch.kept.push_back(static_cast<std::uint32_t>(i));
+        est_pixels += boxPixels(st);
     }
+
+    // Applies one fragment; returns whether it was written to the surface.
+    auto shadeAndApply = [&](DrawStats &s, const Fragment &frag) -> bool {
+        if (!filter.owns(frag.x, frag.y))
+            return false;
+        Fragment shaded = frag;
+        if (in.texture != nullptr) {
+            // Screen-space sample: modulate with the texel under the
+            // fragment (bloom/post-processing pattern).
+            shaded.color = shaded.color * in.texture->at(frag.x, frag.y);
+            s.frags_textured += 1;
+        }
+        std::uint64_t written_before = s.frags_written;
+        surface.applyFragment(shaded, in.state, in.draw_id, in.alpha_ref, s);
+        return s.frags_written != written_before;
+    };
+
+    ThreadPool &pool = globalPool();
+    bool parallel_raster = pool.jobs() > 1 && scratch.kept.size() > 1 &&
+                           est_pixels >= rasterParallelThreshold;
+
+    if (!parallel_raster) {
+        PixelRect full{0, 0, vp.width - 1, vp.height - 1};
+        for (std::uint32_t idx : scratch.kept) {
+            rasterizeTriangleInRect(
+                scratch.screen_tris[idx], vp, full,
+                [&](const Fragment &frag) {
+                    if (shadeAndApply(stats, frag) && touched_tiles != nullptr)
+                        (*touched_tiles)[static_cast<std::size_t>(
+                            grid->tileIndexOfPixel(frag.x, frag.y))] = 1;
+                });
+        }
+        return stats;
+    }
+
+    // Parallel path: bucket triangles by the screen tiles their bounding
+    // boxes overlap, rasterize buckets concurrently. Buckets own disjoint
+    // pixel rectangles and keep draw order internally, so per-pixel results
+    // are bit-identical to the serial pass; per-bucket stats slots merge by
+    // integer summation (order-independent).
+    BinGrid bins = makeBinGrid(vp, grid);
+    binTriangles(scratch, bins);
+
+    scratch.bucket_stats.assign(scratch.dense_bins.size(), DrawStats{});
+    pool.parallelFor(scratch.dense_bins.size(), [&](std::size_t d) {
+        std::uint32_t bin = scratch.dense_bins[d];
+        std::uint32_t lo = bin == 0 ? 0 : scratch.bin_counts[bin - 1];
+        std::uint32_t hi = scratch.bin_counts[bin];
+        PixelRect rect = bins.rectOf(static_cast<int>(bin), vp);
+        DrawStats &s = scratch.bucket_stats[d];
+        bool touched = false;
+        for (std::uint32_t k = lo; k < hi; ++k) {
+            rasterizeTriangleInRect(
+                scratch.screen_tris[scratch.bin_tris[k]], vp, rect,
+                [&](const Fragment &frag) {
+                    if (shadeAndApply(s, frag))
+                        touched = true;
+                });
+        }
+        // Bin index == grid tile index when a grid is present (bins are the
+        // grid's tiles), so this flag has a single writer.
+        if (touched && touched_tiles != nullptr)
+            (*touched_tiles)[bin] = 1;
+    });
+
+    for (const DrawStats &s : scratch.bucket_stats)
+        stats += s;
     return stats;
 }
 

@@ -6,11 +6,22 @@
  * Every SFR scheme funnels through this code; schemes only choose which GPU
  * executes a draw, which pixels that GPU keeps (the @ref RenderFilter), and
  * how the resulting surfaces are merged.
+ *
+ * The renderer is host-parallel but bit-deterministic: geometry processing
+ * fans out over triangle chunks (results concatenated in chunk order), and
+ * rasterization is *binned* — triangles are bucketed by the screen tiles
+ * their cached bounding boxes overlap, and buckets rasterize concurrently.
+ * Tiles have disjoint pixel sets and each bucket preserves draw order, so
+ * late-depth/blend results are bit-identical to a serial pass at any
+ * `--jobs` value (see DESIGN.md, "Host parallelism vs. simulated
+ * parallelism").
  */
 
 #ifndef CHOPIN_GFX_RENDERER_HH
 #define CHOPIN_GFX_RENDERER_HH
 
+#include <algorithm>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -63,6 +74,102 @@ struct DrawInput
      *  Must match the viewport dimensions. */
     const Image *texture = nullptr;
 };
+
+/**
+ * Reusable per-thread scratch for the binned renderer: geometry outputs,
+ * the tile-bucket CSR, and per-bucket stats slots. Hoisted out of
+ * renderDraw so per-draw allocation churn disappears — buffers keep their
+ * capacity across draws on the same thread. Obtain via
+ * threadRenderScratch(); never share one instance across threads.
+ */
+struct RenderScratch
+{
+    /** Post-geometry screen triangles in draw order. */
+    std::vector<ScreenTriangle> screen_tris;
+    /** Indices into screen_tris that survive the coarse filter. */
+    std::vector<std::uint32_t> kept;
+
+    // --- tile-bucket CSR (rebuilt per draw, capacity retained) -----------
+    std::vector<std::uint32_t> bin_counts; ///< per bin, then CSR offsets
+    std::vector<std::uint32_t> bin_tris;   ///< bucket payload: tri indices
+    std::vector<std::uint32_t> dense_bins; ///< nonempty bin ids
+    std::vector<DrawStats> bucket_stats;   ///< one slot per nonempty bin
+
+    // --- geometry fan-out slots ------------------------------------------
+    std::vector<std::vector<ScreenTriangle>> geom_tris; ///< per chunk
+    std::vector<DrawStats> geom_stats;                  ///< per chunk
+};
+
+/** The calling thread's scratch instance (thread-local storage). */
+RenderScratch &threadRenderScratch();
+
+/**
+ * Internals shared between renderDraw() and renderDrawPartitioned() (the
+ * sort-first variant in src/sfr). Not a public API.
+ */
+namespace gfx_detail
+{
+
+/** Minimum triangles before the geometry stage fans out over chunks. */
+inline constexpr std::size_t geomParallelThreshold = 256;
+
+/**
+ * Minimum summed bounding-box pixels before rasterization fans out. Below
+ * this the serial loop wins (bucket setup + pool latency dominate).
+ */
+inline constexpr std::uint64_t rasterParallelThreshold = 8192;
+
+/** The screen tiling used to bucket triangles for parallel rasterization. */
+struct BinGrid
+{
+    int size = defaultTileSize; ///< bin edge in pixels
+    int nx = 0;                 ///< bins per row
+    int ny = 0;                 ///< bin rows
+
+    int count() const { return nx * ny; }
+
+    /** Inclusive pixel rectangle of bin @p bin, clamped to the viewport. */
+    PixelRect
+    rectOf(int bin, const Viewport &vp) const
+    {
+        PixelRect r;
+        r.x0 = (bin % nx) * size;
+        r.y0 = (bin / nx) * size;
+        r.x1 = std::min(vp.width, r.x0 + size) - 1;
+        r.y1 = std::min(vp.height, r.y0 + size) - 1;
+        return r;
+    }
+};
+
+/**
+ * Bins follow @p grid's own tiles when present (so touched-tile flags have
+ * a single writer and, under partitioned rendering, every bucket maps to
+ * exactly one GPU); otherwise a default 64-pixel tiling of the viewport.
+ */
+BinGrid makeBinGrid(const Viewport &vp, const TileGrid *grid);
+
+/**
+ * Geometry processing for a whole draw: fans out over fixed triangle
+ * chunks when worthwhile, concatenating per-chunk outputs in chunk order
+ * (bit-identical to a serial pass). Screen triangles land in
+ * scratch.screen_tris; counters merge into @p stats.
+ */
+void runGeometry(std::span<const Triangle> tris, const Mat4 &mvp,
+                 const Viewport &vp, bool backface_cull,
+                 RenderScratch &scratch, DrawStats &stats);
+
+/** Pixel area of the cached bounding box (raster work estimate). */
+std::uint64_t boxPixels(const ScreenTriangle &st);
+
+/**
+ * Build the tile-bucket CSR over scratch.kept (indices into
+ * scratch.screen_tris, in draw order). On return: bucket b's payload is
+ * scratch.bin_tris[(b ? bin_counts[b-1] : 0) .. bin_counts[b]), and
+ * scratch.dense_bins lists the nonempty bins in ascending order.
+ */
+void binTriangles(RenderScratch &scratch, const BinGrid &bins);
+
+} // namespace gfx_detail
 
 /**
  * Render one draw command into @p surface.

@@ -141,6 +141,8 @@ SimContext::finish(Scheme scheme, Tick end)
         r.draw_timings = pipes[0].drawTimings();
     r.retained_culled = retained_culled;
     r.image = rts[0].color();
+    r.frame_hash = frameHash(r.image);
+    r.content_hash = rts[0].contentHash();
     return r;
 }
 

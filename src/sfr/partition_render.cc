@@ -1,6 +1,7 @@
 #include "sfr/partition_render.hh"
 
 #include "util/log.hh"
+#include "util/thread_pool.hh"
 
 namespace chopin
 {
@@ -12,87 +13,144 @@ renderDrawPartitioned(Surface &target, const Viewport &vp,
                       std::vector<std::uint8_t> *touched_tiles,
                       const Image *texture)
 {
+    using namespace gfx_detail;
+
     unsigned n = grid.numGpus();
     PartitionedDraw out;
     out.per_gpu.resize(n);
     out.owned_tris.assign(n, 0);
 
     Mat4 mvp = view_proj * cmd.model;
-    std::vector<ScreenTriangle> screen_tris;
-    screen_tris.reserve(2);
 
-    for (const Triangle &tri : cmd.triangles) {
-        DrawStats prim;
-        screen_tris.clear();
-        // Cull in this function (not in processPrimitive) so that the
-        // bounding-box owner set of back-facing primitives is still known:
-        // GPUpd distributes them, and their vertex work lands on the owners.
-        processPrimitive(tri, mvp, vp, /*backface_cull=*/false, screen_tris,
-                         prim);
+    // Cull in the attribution pass below (not in geometry processing) so
+    // that the bounding-box owner set of back-facing primitives is still
+    // known: GPUpd distributes them, and their vertex work lands on the
+    // owners.
+    RenderScratch &scratch = threadRenderScratch();
+    DrawStats geom;
+    runGeometry(cmd.triangles, mvp, vp, /*backface_cull=*/false, scratch,
+                geom);
 
-        if (charging == GeometryCharging::Duplicated) {
-            for (unsigned g = 0; g < n; ++g) {
-                out.per_gpu[g].verts_shaded += prim.verts_shaded;
-                out.per_gpu[g].tris_in += prim.tris_in;
-                out.per_gpu[g].tris_clipped += prim.tris_clipped;
-                out.per_gpu[g].tris_culled += prim.tris_culled;
-            }
+    if (charging == GeometryCharging::Duplicated) {
+        // Every GPU transforms and clips every primitive. Summed per-chunk
+        // counters equal the serial per-primitive accumulation exactly
+        // (integer addition is order-independent).
+        for (unsigned g = 0; g < n; ++g) {
+            out.per_gpu[g].verts_shaded += geom.verts_shaded;
+            out.per_gpu[g].tris_in += geom.tris_in;
+            out.per_gpu[g].tris_clipped += geom.tris_clipped;
+            out.per_gpu[g].tris_culled += geom.tris_culled;
         }
-        // Clipped-away primitives never reach any GPU under sort-first
-        // distribution (the projection phase drops them).
+    }
+    // Clipped-away primitives never reach any GPU under sort-first
+    // distribution (the projection phase drops them).
 
-        for (const ScreenTriangle &st : screen_tris) {
-            std::uint64_t mask = grid.overlappedGpus(st);
-            bool front = signedScreenArea2(st) > 0.0f;
-            bool culled = cmd.backface_cull && !front;
+    // Per-triangle ownership attribution (serial: cheap per-triangle work,
+    // and the draw-order keep list feeds the binned rasterizer).
+    scratch.kept.clear();
+    std::uint64_t est_pixels = 0;
+    for (std::size_t i = 0; i < scratch.screen_tris.size(); ++i) {
+        const ScreenTriangle &st = scratch.screen_tris[i];
+        std::uint64_t mask = grid.overlappedGpus(st);
+        bool front = signedScreenArea2(st) > 0.0f;
+        bool culled = cmd.backface_cull && !front;
 
-            for (unsigned g = 0; g < n; ++g) {
-                bool owner = (mask >> g) & 1ULL;
-                DrawStats &s = out.per_gpu[g];
-                if (owner)
-                    out.owned_tris[g] += 1;
+        for (unsigned g = 0; g < n; ++g) {
+            bool owner = (mask >> g) & 1ULL;
+            DrawStats &s = out.per_gpu[g];
+            if (owner)
+                out.owned_tris[g] += 1;
 
-                if (charging == GeometryCharging::OwnersOnly && owner) {
-                    s.verts_shaded += 3;
-                    s.tris_in += 1;
-                }
-                if (culled) {
-                    bool charged = charging == GeometryCharging::Duplicated ||
-                                   owner;
-                    if (charged)
-                        s.tris_culled += 1;
-                    continue;
-                }
-                if (owner) {
-                    s.tris_rasterized += 1;
-                } else if (charging == GeometryCharging::Duplicated) {
-                    // Non-owners coarse-reject the primitive in the raster
-                    // engine; under OwnersOnly they never see it.
-                    s.tris_coarse_rejected += 1;
-                }
+            if (charging == GeometryCharging::OwnersOnly && owner) {
+                s.verts_shaded += 3;
+                s.tris_in += 1;
             }
-            if (culled)
+            if (culled) {
+                bool charged = charging == GeometryCharging::Duplicated ||
+                               owner;
+                if (charged)
+                    s.tris_culled += 1;
                 continue;
-
-            rasterizeTriangle(st, vp, [&](const Fragment &frag) {
-                GpuId g = grid.ownerOfPixel(frag.x, frag.y);
-                DrawStats &s = out.per_gpu[g];
-                Fragment shaded = frag;
-                if (texture != nullptr) {
-                    shaded.color =
-                        shaded.color * texture->at(frag.x, frag.y);
-                    s.frags_textured += 1;
-                }
-                std::uint64_t written_before = s.frags_written;
-                target.applyFragment(shaded, cmd.state, cmd.id,
-                                     cmd.alpha_ref, s);
-                if (touched_tiles != nullptr &&
-                    s.frags_written != written_before) {
-                    (*touched_tiles)[grid.tileIndexOfPixel(frag.x, frag.y)] =
-                        1;
-                }
-            });
+            }
+            if (owner) {
+                s.tris_rasterized += 1;
+            } else if (charging == GeometryCharging::Duplicated) {
+                // Non-owners coarse-reject the primitive in the raster
+                // engine; under OwnersOnly they never see it.
+                s.tris_coarse_rejected += 1;
+            }
         }
+        if (culled)
+            continue;
+        scratch.kept.push_back(static_cast<std::uint32_t>(i));
+        est_pixels += boxPixels(st);
+    }
+
+    // Applies one fragment on behalf of its owner GPU; returns whether it
+    // was written to the target.
+    auto shadeAndApply = [&](DrawStats &s, const Fragment &frag) -> bool {
+        Fragment shaded = frag;
+        if (texture != nullptr) {
+            shaded.color = shaded.color * texture->at(frag.x, frag.y);
+            s.frags_textured += 1;
+        }
+        std::uint64_t written_before = s.frags_written;
+        target.applyFragment(shaded, cmd.state, cmd.id, cmd.alpha_ref, s);
+        return s.frags_written != written_before;
+    };
+
+    ThreadPool &pool = globalPool();
+    bool parallel_raster = pool.jobs() > 1 && scratch.kept.size() > 1 &&
+                           est_pixels >= rasterParallelThreshold;
+
+    if (!parallel_raster) {
+        PixelRect full{0, 0, vp.width - 1, vp.height - 1};
+        for (std::uint32_t idx : scratch.kept) {
+            rasterizeTriangleInRect(
+                scratch.screen_tris[idx], vp, full,
+                [&](const Fragment &frag) {
+                    GpuId g = grid.ownerOfPixel(frag.x, frag.y);
+                    if (shadeAndApply(out.per_gpu[g], frag) &&
+                        touched_tiles != nullptr) {
+                        (*touched_tiles)[static_cast<std::size_t>(
+                            grid.tileIndexOfPixel(frag.x, frag.y))] = 1;
+                    }
+                });
+        }
+        return out;
+    }
+
+    // Parallel path: bins are the ownership grid's own tiles (makeBinGrid
+    // with a grid), so every bucket's pixels belong to exactly one GPU —
+    // per-bucket stats accumulate into a private slot and merge into that
+    // owner afterwards, and each touched-tile flag has a single writer.
+    BinGrid bins = makeBinGrid(vp, &grid);
+    binTriangles(scratch, bins);
+
+    scratch.bucket_stats.assign(scratch.dense_bins.size(), DrawStats{});
+    pool.parallelFor(scratch.dense_bins.size(), [&](std::size_t d) {
+        std::uint32_t bin = scratch.dense_bins[d];
+        std::uint32_t lo = bin == 0 ? 0 : scratch.bin_counts[bin - 1];
+        std::uint32_t hi = scratch.bin_counts[bin];
+        PixelRect rect = bins.rectOf(static_cast<int>(bin), vp);
+        DrawStats &s = scratch.bucket_stats[d];
+        bool touched = false;
+        for (std::uint32_t k = lo; k < hi; ++k) {
+            rasterizeTriangleInRect(
+                scratch.screen_tris[scratch.bin_tris[k]], vp, rect,
+                [&](const Fragment &frag) {
+                    if (shadeAndApply(s, frag))
+                        touched = true;
+                });
+        }
+        if (touched && touched_tiles != nullptr)
+            (*touched_tiles)[bin] = 1;
+    });
+
+    for (std::size_t d = 0; d < scratch.dense_bins.size(); ++d) {
+        int bin = static_cast<int>(scratch.dense_bins[d]);
+        GpuId owner = grid.ownerOfTile(bin % bins.nx, bin / bins.nx);
+        out.per_gpu[owner] += scratch.bucket_stats[d];
     }
     return out;
 }

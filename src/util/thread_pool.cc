@@ -1,0 +1,249 @@
+#include "util/thread_pool.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hh"
+
+namespace chopin
+{
+
+namespace
+{
+
+/** True while the current thread is executing pool chunks: nested
+ *  parallelFor calls detect this and degrade to the inline serial path. */
+thread_local bool tl_in_parallel = false;
+
+} // namespace
+
+struct ThreadPool::Impl
+{
+    std::vector<std::thread> workers;
+
+    std::mutex m;
+    std::condition_variable cv_work; ///< workers: a new generation exists
+    std::condition_variable cv_done; ///< caller: all chunks retired
+
+    // All fields below are written under `m` by the caller of parallelFor
+    // (jobs are serialized by `job_mutex`, so exactly one is live at once).
+    std::uint64_t generation = 0;
+    bool job_active = false;
+    bool shutdown = false;
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    std::size_t chunks = 0;
+    std::size_t pending = 0;        ///< chunks not yet retired
+    std::size_t workers_in_job = 0; ///< workers still touching `fn`
+    const RangeFn *fn = nullptr;
+    std::exception_ptr error;
+
+    std::atomic<std::size_t> next_chunk{0};
+
+    /** Serializes concurrent external parallelFor callers. */
+    std::mutex job_mutex;
+
+    /** Claim and run chunks until the ticket counter is exhausted. */
+    void
+    runChunks()
+    {
+        for (;;) {
+            std::size_t c = next_chunk.fetch_add(1);
+            if (c >= chunks)
+                return;
+            std::size_t begin = c * grain;
+            std::size_t end = std::min(n, begin + grain);
+            try {
+                (*fn)(begin, end);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(m);
+                if (!error)
+                    error = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lk(m);
+                pending -= 1;
+                if (pending == 0)
+                    cv_done.notify_all();
+            }
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        std::uint64_t seen = 0;
+        std::unique_lock<std::mutex> lk(m);
+        for (;;) {
+            cv_work.wait(lk,
+                         [&] { return shutdown || generation != seen; });
+            if (shutdown)
+                return;
+            seen = generation;
+            if (!job_active)
+                continue; // woke after the job already retired
+            workers_in_job += 1;
+            lk.unlock();
+            tl_in_parallel = true;
+            runChunks();
+            tl_in_parallel = false;
+            lk.lock();
+            workers_in_job -= 1;
+            if (workers_in_job == 0)
+                cv_done.notify_all();
+        }
+    }
+};
+
+ThreadPool::ThreadPool(unsigned jobs_requested)
+    : job_count(jobs_requested == 0 ? 1 : jobs_requested)
+{
+    if (job_count == 1)
+        return; // serial pool: no Impl, no threads, ever
+    impl = new Impl;
+    impl->workers.reserve(job_count - 1);
+    for (unsigned i = 0; i + 1 < job_count; ++i)
+        impl->workers.emplace_back([this] { impl->workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    if (impl == nullptr)
+        return;
+    {
+        std::lock_guard<std::mutex> lk(impl->m);
+        impl->shutdown = true;
+    }
+    impl->cv_work.notify_all();
+    for (std::thread &w : impl->workers)
+        w.join();
+    delete impl;
+}
+
+void
+ThreadPool::parallelFor(std::size_t n, std::size_t grain, const RangeFn &fn)
+{
+    if (n == 0)
+        return;
+    if (grain == 0)
+        grain = 1;
+
+    // Bound the ticket count so tiny chunks never dominate: at most ~4
+    // chunks per job keeps scheduling overhead negligible while dynamic
+    // claiming still balances uneven chunk costs.
+    std::size_t min_grain =
+        (n + static_cast<std::size_t>(job_count) * 4 - 1) /
+        (static_cast<std::size_t>(job_count) * 4);
+    std::size_t eff_grain = std::max(grain, min_grain);
+    std::size_t chunks = (n + eff_grain - 1) / eff_grain;
+
+    if (impl == nullptr || chunks < 2 || tl_in_parallel) {
+        // Serial path: inline, in index order. Bit-identical to the
+        // parallel path by the engine's slot-writing discipline; also the
+        // nested-call fallback (a worker must never block on its own pool).
+        for (std::size_t begin = 0; begin < n; begin += eff_grain)
+            fn(begin, std::min(n, begin + eff_grain));
+        return;
+    }
+
+    std::lock_guard<std::mutex> job_lk(impl->job_mutex);
+    {
+        std::lock_guard<std::mutex> lk(impl->m);
+        impl->n = n;
+        impl->grain = eff_grain;
+        impl->chunks = chunks;
+        impl->pending = chunks;
+        impl->fn = &fn;
+        impl->error = nullptr;
+        impl->next_chunk.store(0);
+        impl->job_active = true;
+        impl->generation += 1;
+    }
+    impl->cv_work.notify_all();
+
+    tl_in_parallel = true;
+    impl->runChunks(); // the caller is one of the `jobs` workers
+    tl_in_parallel = false;
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lk(impl->m);
+        impl->cv_done.wait(lk, [&] {
+            return impl->pending == 0 && impl->workers_in_job == 0;
+        });
+        impl->job_active = false;
+        impl->fn = nullptr;
+        error = impl->error;
+        impl->error = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+namespace
+{
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;  // NOLINT: process-lifetime singleton
+unsigned g_requested_jobs = 0;       // 0 = use defaultJobs()
+
+} // namespace
+
+unsigned
+defaultJobs()
+{
+    const char *env = std::getenv("CHOPIN_JOBS");
+    if (env != nullptr && *env != '\0') {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != nullptr && *end == '\0' && v >= 1 && v <= 1024)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool &
+globalPool()
+{
+    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    if (!g_pool) {
+        unsigned jobs =
+            g_requested_jobs == 0 ? defaultJobs() : g_requested_jobs;
+        g_pool = std::make_unique<ThreadPool>(jobs);
+    }
+    return *g_pool;
+}
+
+void
+setGlobalJobs(unsigned job_count)
+{
+    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    unsigned jobs = job_count == 0 ? defaultJobs() : job_count;
+    CHOPIN_CHECK(!tl_in_parallel,
+                 "setGlobalJobs() called from inside a parallel region");
+    if (g_pool && g_pool->jobs() == jobs) {
+        g_requested_jobs = job_count;
+        return;
+    }
+    g_pool.reset(); // joins workers before the new pool spins up
+    g_pool = std::make_unique<ThreadPool>(jobs);
+    g_requested_jobs = job_count;
+}
+
+unsigned
+globalJobs()
+{
+    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    if (g_pool)
+        return g_pool->jobs();
+    return g_requested_jobs == 0 ? defaultJobs() : g_requested_jobs;
+}
+
+} // namespace chopin

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Host-side worker pool for the deterministic parallel rendering engine.
+ *
+ * The simulator's *simulated* parallelism (N GPUs, pipeline stages) is
+ * modelled entirely in simulated Ticks and must stay single-threaded and
+ * deterministic. This pool parallelizes only the *functional* work — pixel
+ * and triangle processing whose results are order-independent by
+ * construction (disjoint output slots, disjoint pixel regions, commutative
+ * integer counters) — so `--jobs=N` produces bit-identical images, stats
+ * and cycle counts to `--jobs=1`. See DESIGN.md, "Host parallelism vs.
+ * simulated parallelism".
+ *
+ * Rules (enforced by tools/lint_check.py, rule `thread`):
+ *  - no raw std::thread / std::async outside this file pair;
+ *  - parallel regions write results into pre-sized, caller-owned slots
+ *    (never reduce in completion order);
+ *  - nested parallelFor calls from inside a worker run serially (no
+ *    deadlock, no oversubscription).
+ */
+
+#ifndef CHOPIN_UTIL_THREAD_POOL_HH
+#define CHOPIN_UTIL_THREAD_POOL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace chopin
+{
+
+/** A contiguous index range [begin, end) handed to one pool task. */
+using RangeFn = std::function<void(std::size_t begin, std::size_t end)>;
+
+/** Fixed-size worker pool with a deterministic parallel-for primitive. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param job_count total degree of parallelism including the calling
+     *        thread; 1 means "never spawn a thread, run everything inline".
+     */
+    explicit ThreadPool(unsigned job_count);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned jobs() const { return job_count; }
+
+    /**
+     * Invoke @p fn over [0, n) split into contiguous chunks of at least
+     * @p grain indices. Chunks are claimed dynamically, so @p fn must be
+     * safe for any chunk-to-thread mapping: write results only into slots
+     * indexed by the loop index (or disjoint per-index state) and the
+     * outcome is independent of the schedule. Blocks until every index has
+     * been processed; the calling thread participates in the work.
+     *
+     * Runs inline (serially, in index order) when jobs() == 1, when n is
+     * too small to split, or when called from inside another parallelFor.
+     * The first exception thrown by @p fn is rethrown on the caller.
+     */
+    void parallelFor(std::size_t n, std::size_t grain, const RangeFn &fn);
+
+    /** parallelFor with per-index granularity (grain = 1). */
+    void
+    parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+    {
+        parallelFor(n, 1, [&fn](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                fn(i);
+        });
+    }
+
+  private:
+    struct Impl;
+    Impl *impl = nullptr; ///< null when job_count == 1 (pure serial pool)
+    unsigned job_count = 1;
+};
+
+/**
+ * The process-wide pool used by the rendering engine. Sized on first use
+ * from defaultJobs(); resized by setGlobalJobs(). Never call from a
+ * destructor that may run after main().
+ */
+ThreadPool &globalPool();
+
+/**
+ * Resize the global pool (e.g. from a --jobs flag). Must not be called
+ * while a parallelFor on the global pool is in flight. @p job_count of 0
+ * selects defaultJobs().
+ */
+void setGlobalJobs(unsigned job_count);
+
+/** Degree of parallelism of the global pool without instantiating it. */
+unsigned globalJobs();
+
+/**
+ * Default degree of parallelism: the CHOPIN_JOBS environment variable when
+ * set to a positive integer, otherwise std::thread::hardware_concurrency()
+ * (at least 1).
+ */
+unsigned defaultJobs();
+
+} // namespace chopin
+
+#endif // CHOPIN_UTIL_THREAD_POOL_HH

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Pretty-print and validate BENCH_frame.json from bench/perf_frame.
+
+Reads the JSON summary the wall-clock harness writes, prints a compact
+per-(benchmark, scheme) report and the geometric-mean speedup, and can gate
+CI:
+
+  python3 tools/bench_json.py BENCH_frame.json
+  python3 tools/bench_json.py BENCH_frame.json --min-speedup 3.0
+  python3 tools/bench_json.py new.json --compare old.json
+
+--min-speedup fails (exit 1) when the geometric-mean --jobs=N over --jobs=1
+speedup is below the bound (only meaningful on multi-core machines; the
+harness itself already asserts bit-identical simulation results at every
+job count, which is the correctness gate).
+
+--compare checks that frame hashes and simulated cycle counts of matching
+(bench, scheme) pairs are identical between two runs — e.g. a --jobs=1 run
+against a --jobs=N run, or today's run against a stored baseline.
+
+Standard library only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    for key in ("results", "gmean_speedup", "jobs_parallel"):
+        if key not in data:
+            sys.exit(f"{path}: missing key '{key}' (not a perf_frame dump?)")
+    return data
+
+
+def report(data: dict) -> None:
+    jobs = data["jobs_parallel"]
+    print(f"# perf_frame: scale={data.get('scale', '?')} "
+          f"gpus={data.get('gpus', '?')} jobs={jobs} "
+          f"repeat={data.get('repeat', '?')}")
+    header = (f"{'benchmark':<10} {'scheme':<18} {'ktris':>8} "
+              f"{'ns j1':>12} {'ns j' + str(jobs):>12} "
+              f"{'Mtris/s':>9} {'speedup':>8}")
+    print(header)
+    print("-" * len(header))
+    for r in data["results"]:
+        print(f"{r['bench']:<10} {r['scheme']:<18} "
+              f"{r['tris'] // 1000:>8} "
+              f"{r['ns_frame_serial']:>12.0f} "
+              f"{r['ns_frame_parallel']:>12.0f} "
+              f"{r['mtris_per_s']:>9.2f} "
+              f"{r['speedup']:>7.2f}x")
+    print(f"\ngeometric-mean speedup: {data['gmean_speedup']:.2f}x")
+
+
+def compare(data: dict, baseline: dict) -> int:
+    """Cross-run determinism check; returns the number of mismatches."""
+    def key(r: dict) -> tuple:
+        return (r["bench"], r["scheme"])
+
+    base = {key(r): r for r in baseline["results"]}
+    mismatches = 0
+    for r in data["results"]:
+        b = base.get(key(r))
+        if b is None:
+            print(f"compare: {key(r)} missing from baseline", file=sys.stderr)
+            mismatches += 1
+            continue
+        for field in ("frame_hash", "cycles", "tris"):
+            if r[field] != b[field]:
+                print(f"compare: {key(r)}: {field} differs "
+                      f"({r[field]} != {b[field]})", file=sys.stderr)
+                mismatches += 1
+    if mismatches == 0:
+        print(f"compare: {len(data['results'])} configurations identical "
+              "(frame_hash, cycles, tris)")
+    return mismatches
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("json_path", help="BENCH_frame.json from perf_frame")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail if gmean speedup is below this bound")
+    parser.add_argument("--compare", metavar="BASELINE", default=None,
+                        help="check hashes/cycles against another dump")
+    args = parser.parse_args()
+
+    data = load(args.json_path)
+    report(data)
+
+    status = 0
+    if args.compare is not None:
+        if compare(data, load(args.compare)) != 0:
+            status = 1
+    if args.min_speedup is not None:
+        g = data["gmean_speedup"]
+        if g < args.min_speedup:
+            print(f"FAIL: gmean speedup {g:.2f}x < required "
+                  f"{args.min_speedup:.2f}x", file=sys.stderr)
+            status = 1
+        else:
+            print(f"OK: gmean speedup {g:.2f}x >= {args.min_speedup:.2f}x")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

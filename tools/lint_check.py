@@ -15,6 +15,12 @@ Rules (each can be suppressed on a line with `// lint:allow(<rule>)`):
                through static_cast<Tick>(...), and C-style (Tick)/(float)
                /(double) casts are banned in src/ — truncation and
                negative wrap-around must be explicit and reviewable.
+  thread       No raw threading primitives (std::thread, std::jthread,
+               std::async, pthread_create) outside src/util/thread_pool.*
+               — all host parallelism flows through ThreadPool::parallelFor
+               so the deterministic slot-writing rules (see
+               src/util/thread_pool.hh and DESIGN.md, "Host parallelism
+               vs. simulated parallelism") are enforced in one place.
 
 Run as a ctest (`ctest -R repo_lint`) or directly:
 
@@ -40,6 +46,8 @@ WALLCLOCK_RE = re.compile(
 TICK_ASSIGN_RE = re.compile(r"\bTick\s+\w+\s*=\s*(?P<rhs>[^;]*);")
 FLOATING_RE = re.compile(r"\d\.\d|\b(?:float|double)\b|\.0f\b")
 CSTYLE_CAST_RE = re.compile(r"\(\s*(?:Tick|float|double)\s*\)\s*[\w(]")
+THREAD_RE = re.compile(
+    r"\bstd::(?:thread|jthread|async)\b|\bpthread_create\s*\(")
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\((?P<rules>[\w,\- ]+)\)")
 
@@ -93,6 +101,7 @@ def lint_file(path: pathlib.Path, rel: str) -> list[str]:
     violations = []
     in_sim_or_sfr = rel.startswith(("src/sim/", "src/sfr/"))
     is_rng_impl = rel.startswith("src/util/rng")
+    is_pool_impl = rel.startswith("src/util/thread_pool")
     in_block_comment = False
 
     for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
@@ -118,6 +127,10 @@ def lint_file(path: pathlib.Path, rel: str) -> list[str]:
         if CSTYLE_CAST_RE.search(code):
             report("tick-float", "C-style cast involving Tick/float/double; "
                                  "use static_cast")
+        if not is_pool_impl and THREAD_RE.search(code):
+            report("thread", "raw threading primitive; use "
+                             "ThreadPool::parallelFor "
+                             "(src/util/thread_pool.hh)")
     return violations
 
 
