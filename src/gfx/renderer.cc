@@ -136,7 +136,12 @@ binTriangles(RenderScratch &scratch, const BinGrid &bins)
 RenderScratch &
 threadRenderScratch()
 {
-    thread_local RenderScratch scratch;
+    // The one sanctioned piece of thread-local state outside util/: scratch
+    // ownership is *per thread by construction* (each pool worker and the
+    // coordinator get a private instance), so no capability guards it —
+    // sharing is impossible, not merely locked away. See RenderScratch's
+    // ownership contract in gfx/renderer.hh.
+    thread_local RenderScratch scratch; // chopin-lint: allow(global-state)
     return scratch;
 }
 

@@ -81,6 +81,17 @@ struct DrawInput
  * renderDraw so per-draw allocation churn disappears — buffers keep their
  * capacity across draws on the same thread. Obtain via
  * threadRenderScratch(); never share one instance across threads.
+ *
+ * Ownership contract (the per-thread half of the static-analysis layer,
+ * see util/sequential.hh for the coordinator half): a RenderScratch is
+ * *thread-private by construction* — threadRenderScratch() hands every
+ * thread its own thread_local instance, so no mutex or capability guards
+ * the members. The compile-time enforcement is structural: passing a
+ * RenderScratch& across a parallelFor boundary would require naming the
+ * same instance in two workers, which the thread_local accessor makes
+ * impossible; lint rule `global-state` bans any other thread_local or
+ * mutable file-scope state outside util/ so this stays the single point
+ * of per-thread ownership.
  */
 struct RenderScratch
 {

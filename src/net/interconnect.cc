@@ -31,6 +31,7 @@ Tick
 Interconnect::transfer(GpuId src, GpuId dst, Bytes bytes, Tick earliest,
                        TrafficClass cls)
 {
+    seq.assertHeld("Interconnect::transfer");
     CHOPIN_ASSERT(src < gpus && dst < gpus && src != dst,
                   "bad transfer ", src, " -> ", dst);
 
@@ -63,6 +64,7 @@ Interconnect::transfer(GpuId src, GpuId dst, Bytes bytes, Tick earliest,
 void
 Interconnect::blockIngressUntil(GpuId gpu, Tick until)
 {
+    seq.assertHeld("Interconnect::blockIngressUntil");
     CHOPIN_ASSERT(gpu < gpus);
     Resource &in = ingress[gpu];
     if (in.freeAt() < until)
@@ -72,6 +74,7 @@ Interconnect::blockIngressUntil(GpuId gpu, Tick until)
 Bytes
 Interconnect::linkBytes(GpuId src, GpuId dst) const
 {
+    seq.assertHeld("Interconnect::linkBytes");
     CHOPIN_ASSERT(src < gpus && dst < gpus);
     return link_bytes[linkIndex(src, dst)];
 }
@@ -88,6 +91,7 @@ Interconnect::drainUpTo(Tick now)
 std::uint64_t
 Interconnect::inflightAfter(Tick now)
 {
+    seq.assertHeld("Interconnect::inflightAfter");
     drainUpTo(now);
     return inflight.used();
 }
@@ -95,6 +99,7 @@ Interconnect::inflightAfter(Tick now)
 void
 Interconnect::checkFlowConservation() const
 {
+    seq.assertHeld("Interconnect::checkFlowConservation");
     Bytes injected = std::accumulate(link_bytes.begin(), link_bytes.end(),
                                      Bytes{0});
     CHOPIN_CHECK(injected == delivered_bytes,
@@ -114,6 +119,7 @@ Interconnect::checkFlowConservation() const
 void
 Interconnect::checkDrained(Tick frame_end)
 {
+    seq.assertHeld("Interconnect::checkDrained");
     drainUpTo(frame_end);
     CHOPIN_CHECK(inflight.empty(), inflight.used(),
                  " message(s) still in flight at frame end ", frame_end,
@@ -123,6 +129,7 @@ Interconnect::checkDrained(Tick frame_end)
 void
 Interconnect::reset()
 {
+    seq.assertHeld("Interconnect::reset");
     for (Resource &r : egress)
         r.reset();
     for (Resource &r : ingress)

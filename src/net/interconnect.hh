@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sim/resource.hh"
+#include "util/sequential.hh"
 #include "util/types.hh"
 
 namespace chopin
@@ -70,7 +71,15 @@ struct TrafficStats
     }
 };
 
-/** The all-pairs point-to-point interconnect of one multi-GPU system. */
+/**
+ * The all-pairs point-to-point interconnect of one multi-GPU system.
+ *
+ * Coordinator-owned (see util/sequential.hh): port and traffic state are
+ * timing-model bookkeeping, mutated strictly sequentially. Every entry
+ * point asserts the sequential capability; the busy-until arithmetic is
+ * order-dependent, so concurrent transfers would silently destroy
+ * determinism long before they corrupted memory.
+ */
 class Interconnect
 {
   public:
@@ -95,21 +104,41 @@ class Interconnect
     void blockIngressUntil(GpuId gpu, Tick until);
 
     /** Time the egress port of @p gpu is next free. */
-    Tick egressFreeAt(GpuId gpu) const { return egress[gpu].freeAt(); }
+    Tick
+    egressFreeAt(GpuId gpu) const
+    {
+        seq.assertHeld("Interconnect::egressFreeAt");
+        return egress[gpu].freeAt();
+    }
 
     /** Time the ingress port of @p gpu is next free. */
-    Tick ingressFreeAt(GpuId gpu) const { return ingress[gpu].freeAt(); }
+    Tick
+    ingressFreeAt(GpuId gpu) const
+    {
+        seq.assertHeld("Interconnect::ingressFreeAt");
+        return ingress[gpu].freeAt();
+    }
 
     /** Duration in cycles of a @p bytes transfer at link bandwidth. */
     Tick transferCycles(Bytes bytes) const;
 
-    const TrafficStats &traffic() const { return stats; }
+    const TrafficStats &
+    traffic() const
+    {
+        seq.assertHeld("Interconnect::traffic");
+        return stats;
+    }
 
     /** Bytes injected so far on the @p src -> @p dst link. */
     Bytes linkBytes(GpuId src, GpuId dst) const;
 
     /** Delivery time of the latest-arriving message sent so far. */
-    Tick lastDelivery() const { return last_delivery; }
+    Tick
+    lastDelivery() const
+    {
+        seq.assertHeld("Interconnect::lastDelivery");
+        return last_delivery;
+    }
 
     /** Messages whose delivery time is later than @p now. */
     std::uint64_t inflightAfter(Tick now);
@@ -138,23 +167,25 @@ class Interconnect
         return static_cast<std::size_t>(src) * gpus + dst;
     }
 
-    unsigned gpus;
-    LinkParams linkParams;
-    std::vector<Resource> egress;  ///< one per GPU
-    std::vector<Resource> ingress; ///< one per GPU
-    std::vector<Resource> links;   ///< one per ordered pair
-    TrafficStats stats;
+    SequentialCap seq; ///< coordinator ownership; guards the port state
+
+    unsigned gpus;         ///< immutable after construction
+    LinkParams linkParams; ///< immutable after construction
+    std::vector<Resource> egress CHOPIN_GUARDED_BY(seq);  ///< one per GPU
+    std::vector<Resource> ingress CHOPIN_GUARDED_BY(seq); ///< one per GPU
+    std::vector<Resource> links CHOPIN_GUARDED_BY(seq);   ///< ordered pairs
+    TrafficStats stats CHOPIN_GUARDED_BY(seq);
 
     // Invariant bookkeeping (see checkFlowConservation / checkDrained).
-    std::vector<Bytes> link_bytes; ///< injected bytes per ordered pair
-    Bytes delivered_bytes = 0;     ///< accumulated at delivery computation
-    Tick last_delivery = 0;
-    Occupancy inflight;            ///< messages injected but not yet drained
+    std::vector<Bytes> link_bytes CHOPIN_GUARDED_BY(seq);
+    Bytes delivered_bytes CHOPIN_GUARDED_BY(seq) = 0;
+    Tick last_delivery CHOPIN_GUARDED_BY(seq) = 0;
+    Occupancy inflight CHOPIN_GUARDED_BY(seq);
     std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>>
-        pending_deliveries;
+        pending_deliveries CHOPIN_GUARDED_BY(seq);
 
     /** Release in-flight occupancy for messages delivered by @p now. */
-    void drainUpTo(Tick now);
+    void drainUpTo(Tick now) CHOPIN_REQUIRES(seq);
 };
 
 } // namespace chopin

@@ -6,6 +6,7 @@
 
 #include "sim/resource.hh"
 #include "util/log.hh"
+#include "util/sequential.hh"
 
 namespace chopin
 {
@@ -32,6 +33,10 @@ applySelfMerge(const CompositionJob &job, const TimingParams &timing,
 void
 checkCompositionJob(const CompositionJob &job, bool opaque_routing)
 {
+    // Every compose* entry point funnels through here: composition timing
+    // mutates the interconnect's busy-until state, which is
+    // coordinator-owned (util/sequential.hh).
+    assertSequential("checkCompositionJob");
     unsigned n = job.num_gpus;
     CHOPIN_ASSERT(n >= 1, "composition job without GPUs");
     CHOPIN_ASSERT(job.ready.size() == n && job.self_pixels.size() == n &&

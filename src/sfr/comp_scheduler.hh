@@ -71,6 +71,11 @@ struct CompositionJob
  * Transparent composers move whole partial composites and ignore the pair
  * matrix, so only the weak form applies. Fails through the check layer;
  * called by every compose* entry point.
+ *
+ * Also asserts the sequential-ownership contract (util/sequential.hh):
+ * composition timing mutates the coordinator-owned Interconnect, so no
+ * compose* function may run inside a parallelFor region. The per-GPU
+ * *functional* merges stay parallel; only the timing model is serial.
  */
 void checkCompositionJob(const CompositionJob &job, bool opaque_routing);
 

@@ -10,6 +10,7 @@ namespace chopin
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
+    seq.assertHeld("EventQueue::schedule");
     CHOPIN_ASSERT(when >= currentTick,
                   "event scheduled into the past: ", when, " < ", currentTick);
     CHOPIN_ASSERT(cb != nullptr, "null callback scheduled at ", when);
@@ -25,6 +26,7 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
+    seq.assertHeld("EventQueue::runUntil");
     while (!events.empty() && events.top().when <= limit) {
         // priority_queue::top() is const; the callback must be moved out
         // before pop() destroys the entry. Entry is mutable apart from the
@@ -47,6 +49,7 @@ EventQueue::runUntil(Tick limit)
 void
 EventQueue::reset()
 {
+    seq.assertHeld("EventQueue::reset");
     while (!events.empty())
         events.pop();
     currentTick = 0;

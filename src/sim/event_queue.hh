@@ -17,19 +17,33 @@
 #include <queue>
 #include <vector>
 
+#include "util/sequential.hh"
 #include "util/types.hh"
 
 namespace chopin
 {
 
-/** The event queue driving one simulation. */
+/**
+ * The event queue driving one simulation.
+ *
+ * Coordinator-owned (see util/sequential.hh): the queue and the simulated
+ * clock are part of the timing model, which is sequential by contract.
+ * Every entry point asserts the sequential capability, so touching the
+ * queue from inside a parallelFor region fails the thread-safety build
+ * under clang and aborts at runtime in checked builds.
+ */
 class EventQueue
 {
   public:
     using Callback = std::function<void()>;
 
     /** Current simulated time. */
-    Tick now() const { return currentTick; }
+    Tick
+    now() const
+    {
+        seq.assertHeld("EventQueue::now");
+        return currentTick;
+    }
 
     /**
      * Schedule @p cb to run at absolute time @p when.
@@ -38,13 +52,20 @@ class EventQueue
     void schedule(Tick when, Callback cb);
 
     /** Schedule @p cb to run @p delay ticks from now. */
-    void scheduleAfter(Tick delay, Callback cb)
+    void
+    scheduleAfter(Tick delay, Callback cb)
     {
+        seq.assertHeld("EventQueue::scheduleAfter");
         schedule(currentTick + delay, std::move(cb));
     }
 
     /** Number of events not yet executed. */
-    std::size_t pending() const { return events.size(); }
+    std::size_t
+    pending() const
+    {
+        seq.assertHeld("EventQueue::pending");
+        return events.size();
+    }
 
     /**
      * Run until the queue drains.
@@ -77,9 +98,12 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> events;
-    Tick currentTick = 0;
-    std::uint64_t nextSeq = 0;
+    SequentialCap seq; ///< coordinator ownership; guards all state below
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> events
+        CHOPIN_GUARDED_BY(seq);
+    Tick currentTick CHOPIN_GUARDED_BY(seq) = 0;
+    std::uint64_t nextSeq CHOPIN_GUARDED_BY(seq) = 0;
 };
 
 } // namespace chopin

@@ -18,6 +18,7 @@ TextTable::TextTable(std::vector<std::string> header) : head(std::move(header))
 void
 TextTable::addRow(std::vector<std::string> row)
 {
+    seq.assertHeld("TextTable::addRow");
     chopin_assert(row.size() == head.size(), "row width ", row.size(),
                   " != header width ", head.size());
     body.push_back(std::move(row));
@@ -26,6 +27,7 @@ TextTable::addRow(std::vector<std::string> row)
 void
 TextTable::print(std::ostream &os) const
 {
+    seq.assertHeld("TextTable::print");
     std::vector<std::size_t> width(head.size());
     for (std::size_t c = 0; c < head.size(); ++c)
         width[c] = head[c].size();
@@ -54,6 +56,7 @@ TextTable::print(std::ostream &os) const
 void
 TextTable::printCsv(std::ostream &os) const
 {
+    seq.assertHeld("TextTable::printCsv");
     auto emit = [&](const std::vector<std::string> &row) {
         for (std::size_t c = 0; c < row.size(); ++c) {
             os << row[c];

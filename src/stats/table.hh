@@ -12,10 +12,19 @@
 #include <string>
 #include <vector>
 
+#include "util/sequential.hh"
+
 namespace chopin
 {
 
-/** Column-aligned text table with CSV export. */
+/**
+ * Column-aligned text table with CSV export.
+ *
+ * Coordinator-owned (see util/sequential.hh): bench harnesses accumulate
+ * rows while walking simulation results, and a row added from inside a
+ * parallelFor region would make row order schedule-dependent — the exact
+ * nondeterminism the host-parallelism contract forbids.
+ */
 class TextTable
 {
   public:
@@ -26,7 +35,12 @@ class TextTable
     void addRow(std::vector<std::string> row);
 
     /** Number of data rows. */
-    std::size_t rows() const { return body.size(); }
+    std::size_t
+    rows() const
+    {
+        seq.assertHeld("TextTable::rows");
+        return body.size();
+    }
 
     /** Render aligned with two-space gutters. */
     void print(std::ostream &os) const;
@@ -35,8 +49,10 @@ class TextTable
     void printCsv(std::ostream &os) const;
 
   private:
-    std::vector<std::string> head;
-    std::vector<std::vector<std::string>> body;
+    SequentialCap seq; ///< coordinator ownership; guards `body`
+
+    std::vector<std::string> head; ///< immutable after construction
+    std::vector<std::vector<std::string>> body CHOPIN_GUARDED_BY(seq);
 };
 
 /** Format a double with @p digits fractional digits. */

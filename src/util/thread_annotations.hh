@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Clang thread-safety (capability) annotations and annotated lock types.
+ *
+ * The host-parallel rendering engine (see DESIGN.md, "Host parallelism vs.
+ * simulated parallelism") keeps its determinism contract by disciplined
+ * shared-state ownership. This header turns that discipline into something
+ * the compiler checks: every mutex-protected member is declared
+ * CHOPIN_GUARDED_BY its mutex, every locking function declares what it
+ * acquires, and a clang build with `-DCHOPIN_THREAD_SAFETY=ON` fails under
+ * `-Werror=thread-safety` if an access path skips a lock.
+ *
+ * Conventions (enforced by tools/lint_check.py, rule `naked-sync`):
+ *  - outside src/util/, synchronization primitives are declared through the
+ *    annotated wrappers below (chopin::Mutex, chopin::LockGuard,
+ *    chopin::UniqueLock), never as naked std::mutex / std::atomic;
+ *  - every mutable member a mutex protects carries CHOPIN_GUARDED_BY;
+ *  - single-thread-owned simulator state uses SequentialCap
+ *    (util/sequential.hh), the capability modelling "the coordinator
+ *    thread, outside any parallelFor region".
+ *
+ * The macros expand to nothing on compilers without the capability
+ * attributes (gcc), so annotated code builds everywhere; only clang
+ * performs the analysis.
+ */
+
+#ifndef CHOPIN_UTIL_THREAD_ANNOTATIONS_HH
+#define CHOPIN_UTIL_THREAD_ANNOTATIONS_HH
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CHOPIN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CHOPIN_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/** Marks a class as a capability (lock-like object) named in diagnostics. */
+#define CHOPIN_CAPABILITY(x) CHOPIN_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII class whose lifetime acquires/releases a capability. */
+#define CHOPIN_SCOPED_CAPABILITY CHOPIN_THREAD_ANNOTATION(scoped_lockable)
+
+/** Member readable/writable only while holding capability @p x. */
+#define CHOPIN_GUARDED_BY(x) CHOPIN_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee readable/writable only while holding capability @p x. */
+#define CHOPIN_PT_GUARDED_BY(x) CHOPIN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function requires the listed capabilities held exclusively on entry. */
+#define CHOPIN_REQUIRES(...)                                                  \
+    CHOPIN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function requires the listed capabilities held at least shared. */
+#define CHOPIN_REQUIRES_SHARED(...)                                           \
+    CHOPIN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the listed capabilities (exclusive). */
+#define CHOPIN_ACQUIRE(...)                                                   \
+    CHOPIN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities. */
+#define CHOPIN_RELEASE(...)                                                   \
+    CHOPIN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function must NOT be entered holding the listed capabilities. */
+#define CHOPIN_EXCLUDES(...)                                                  \
+    CHOPIN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Declares that on return the listed capability is held (runtime-checked
+ *  assertion the analysis trusts; see SequentialCap::assertHeld). */
+#define CHOPIN_ASSERT_CAPABILITY(x)                                           \
+    CHOPIN_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the capability guarding its result. */
+#define CHOPIN_RETURN_CAPABILITY(x)                                           \
+    CHOPIN_THREAD_ANNOTATION(lock_returned(x))
+
+/** Capability ordering documentation: x acquired before/after this one. */
+#define CHOPIN_ACQUIRED_BEFORE(...)                                           \
+    CHOPIN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define CHOPIN_ACQUIRED_AFTER(...)                                            \
+    CHOPIN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Escape hatch: suppress the analysis for one function. Use only with a
+ *  comment explaining why the access pattern is safe. */
+#define CHOPIN_NO_THREAD_SAFETY_ANALYSIS                                      \
+    CHOPIN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace chopin
+{
+
+/**
+ * Annotated mutex: a std::mutex the thread-safety analysis can track.
+ * Members it protects are declared CHOPIN_GUARDED_BY(the_mutex).
+ */
+class CHOPIN_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() CHOPIN_ACQUIRE() { m.lock(); }
+    void unlock() CHOPIN_RELEASE() { m.unlock(); }
+
+    /**
+     * The wrapped std::mutex, for std::condition_variable waits. A wait
+     * releases and reacquires the mutex internally; the capability is held
+     * on both sides of the call, so the analysis stays consistent.
+     */
+    std::mutex &native() { return m; }
+
+  private:
+    std::mutex m;
+};
+
+/** Scoped lock of a chopin::Mutex (std::lock_guard, annotated). */
+class CHOPIN_SCOPED_CAPABILITY LockGuard
+{
+  public:
+    explicit LockGuard(Mutex &mutex) CHOPIN_ACQUIRE(mutex) : mu(mutex)
+    {
+        mu.lock();
+    }
+    ~LockGuard() CHOPIN_RELEASE() { mu.unlock(); }
+
+    LockGuard(const LockGuard &) = delete;
+    LockGuard &operator=(const LockGuard &) = delete;
+
+  private:
+    Mutex &mu;
+};
+
+/**
+ * Scoped lock usable with condition variables: holds the Mutex for its
+ * whole lifetime and exposes the underlying std::unique_lock for
+ * std::condition_variable::wait.
+ */
+class CHOPIN_SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex &mutex) CHOPIN_ACQUIRE(mutex)
+        : lk(mutex.native())
+    {
+    }
+    ~UniqueLock() CHOPIN_RELEASE() {} // member unique_lock unlocks
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+    /** For cv.wait(lock.native()): locked again by the time wait returns. */
+    std::unique_lock<std::mutex> &native() { return lk; }
+
+  private:
+    std::unique_lock<std::mutex> lk;
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_UTIL_THREAD_ANNOTATIONS_HH

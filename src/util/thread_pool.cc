@@ -5,11 +5,11 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/check.hh"
+#include "util/thread_annotations.hh"
 
 namespace chopin
 {
@@ -23,31 +23,44 @@ thread_local bool tl_in_parallel = false;
 
 } // namespace
 
+bool
+inParallelRegion()
+{
+    return tl_in_parallel;
+}
+
 struct ThreadPool::Impl
 {
     std::vector<std::thread> workers;
 
-    std::mutex m;
+    Mutex m;
     std::condition_variable cv_work; ///< workers: a new generation exists
     std::condition_variable cv_done; ///< caller: all chunks retired
 
-    // All fields below are written under `m` by the caller of parallelFor
-    // (jobs are serialized by `job_mutex`, so exactly one is live at once).
-    std::uint64_t generation = 0;
-    bool job_active = false;
-    bool shutdown = false;
+    // Job-control state, written by the caller of parallelFor and read by
+    // workers, always under `m` (jobs are serialized by `job_mutex`, so
+    // exactly one is live at once).
+    std::uint64_t generation CHOPIN_GUARDED_BY(m) = 0;
+    bool job_active CHOPIN_GUARDED_BY(m) = false;
+    bool shutdown CHOPIN_GUARDED_BY(m) = false;
+    std::size_t pending CHOPIN_GUARDED_BY(m) = 0;        ///< chunks left
+    std::size_t workers_in_job CHOPIN_GUARDED_BY(m) = 0; ///< touching `fn`
+    std::exception_ptr error CHOPIN_GUARDED_BY(m);
+
+    // Job descriptor: written by the submitting caller under `m` *before*
+    // the generation bump publishes it, then immutable until every chunk
+    // retires — workers read it lock-free inside runChunks. Not
+    // GUARDED_BY(m): the generation protocol, not the mutex, makes these
+    // reads race-free (TSan-verified in CI).
     std::size_t n = 0;
     std::size_t grain = 1;
     std::size_t chunks = 0;
-    std::size_t pending = 0;        ///< chunks not yet retired
-    std::size_t workers_in_job = 0; ///< workers still touching `fn`
     const RangeFn *fn = nullptr;
-    std::exception_ptr error;
 
-    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> next_chunk{0}; ///< dynamic chunk tickets
 
     /** Serializes concurrent external parallelFor callers. */
-    std::mutex job_mutex;
+    Mutex job_mutex CHOPIN_ACQUIRED_BEFORE(m);
 
     /** Claim and run chunks until the ticket counter is exhausted. */
     void
@@ -62,12 +75,12 @@ struct ThreadPool::Impl
             try {
                 (*fn)(begin, end);
             } catch (...) {
-                std::lock_guard<std::mutex> lk(m);
+                LockGuard lk(m);
                 if (!error)
                     error = std::current_exception();
             }
             {
-                std::lock_guard<std::mutex> lk(m);
+                LockGuard lk(m);
                 pending -= 1;
                 if (pending == 0)
                     cv_done.notify_all();
@@ -79,21 +92,24 @@ struct ThreadPool::Impl
     workerLoop()
     {
         std::uint64_t seen = 0;
-        std::unique_lock<std::mutex> lk(m);
+        UniqueLock lk(m);
         for (;;) {
-            cv_work.wait(lk,
-                         [&] { return shutdown || generation != seen; });
+            // Explicit wait loop (not the predicate overload): the guarded
+            // reads stay in this function's scope, where the analysis can
+            // see the lock is held on both sides of the wait.
+            while (!shutdown && generation == seen)
+                cv_work.wait(lk.native());
             if (shutdown)
                 return;
             seen = generation;
             if (!job_active)
                 continue; // woke after the job already retired
             workers_in_job += 1;
-            lk.unlock();
+            lk.native().unlock();
             tl_in_parallel = true;
             runChunks();
             tl_in_parallel = false;
-            lk.lock();
+            lk.native().lock();
             workers_in_job -= 1;
             if (workers_in_job == 0)
                 cv_done.notify_all();
@@ -117,7 +133,7 @@ ThreadPool::~ThreadPool()
     if (impl == nullptr)
         return;
     {
-        std::lock_guard<std::mutex> lk(impl->m);
+        LockGuard lk(impl->m);
         impl->shutdown = true;
     }
     impl->cv_work.notify_all();
@@ -152,9 +168,9 @@ ThreadPool::parallelFor(std::size_t n, std::size_t grain, const RangeFn &fn)
         return;
     }
 
-    std::lock_guard<std::mutex> job_lk(impl->job_mutex);
+    LockGuard job_lk(impl->job_mutex);
     {
-        std::lock_guard<std::mutex> lk(impl->m);
+        LockGuard lk(impl->m);
         impl->n = n;
         impl->grain = eff_grain;
         impl->chunks = chunks;
@@ -173,10 +189,9 @@ ThreadPool::parallelFor(std::size_t n, std::size_t grain, const RangeFn &fn)
 
     std::exception_ptr error;
     {
-        std::unique_lock<std::mutex> lk(impl->m);
-        impl->cv_done.wait(lk, [&] {
-            return impl->pending == 0 && impl->workers_in_job == 0;
-        });
+        UniqueLock lk(impl->m);
+        while (impl->pending != 0 || impl->workers_in_job != 0)
+            impl->cv_done.wait(lk.native());
         impl->job_active = false;
         impl->fn = nullptr;
         error = impl->error;
@@ -189,9 +204,11 @@ ThreadPool::parallelFor(std::size_t n, std::size_t grain, const RangeFn &fn)
 namespace
 {
 
-std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;  // NOLINT: process-lifetime singleton
-unsigned g_requested_jobs = 0;       // 0 = use defaultJobs()
+Mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool          // NOLINT: process singleton
+    CHOPIN_GUARDED_BY(g_pool_mutex);
+unsigned g_requested_jobs                   // 0 = use defaultJobs()
+    CHOPIN_GUARDED_BY(g_pool_mutex) = 0;
 
 } // namespace
 
@@ -212,7 +229,7 @@ defaultJobs()
 ThreadPool &
 globalPool()
 {
-    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    LockGuard lk(g_pool_mutex);
     if (!g_pool) {
         unsigned jobs =
             g_requested_jobs == 0 ? defaultJobs() : g_requested_jobs;
@@ -224,7 +241,7 @@ globalPool()
 void
 setGlobalJobs(unsigned job_count)
 {
-    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    LockGuard lk(g_pool_mutex);
     unsigned jobs = job_count == 0 ? defaultJobs() : job_count;
     CHOPIN_CHECK(!tl_in_parallel,
                  "setGlobalJobs() called from inside a parallel region");
@@ -240,7 +257,7 @@ setGlobalJobs(unsigned job_count)
 unsigned
 globalJobs()
 {
-    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    LockGuard lk(g_pool_mutex);
     if (g_pool)
         return g_pool->jobs();
     return g_requested_jobs == 0 ? defaultJobs() : g_requested_jobs;

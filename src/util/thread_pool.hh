@@ -101,6 +101,14 @@ unsigned globalJobs();
  */
 unsigned defaultJobs();
 
+/**
+ * True while the calling thread is executing chunks of a parallelFor
+ * (worker or participating caller). The sequential-ownership capability
+ * (util/sequential.hh) uses this to assert that coordinator-owned
+ * timing-model state is never touched from functional parallel code.
+ */
+bool inParallelRegion();
+
 } // namespace chopin
 
 #endif // CHOPIN_UTIL_THREAD_POOL_HH

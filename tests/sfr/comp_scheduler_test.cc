@@ -78,6 +78,37 @@ TEST_P(CompositionLiveness, CompletesForRandomReadyTimes)
     }
 }
 
+TEST_P(CompositionLiveness, SingleGpuMovesNoBytes)
+{
+    // N=1 collapses every algorithm to "the sole GPU already holds the
+    // frame": no traffic, no messages, and completion is bounded by the
+    // GPU's own readiness plus local composition work.
+    ComposeFn fn = GetParam().fn;
+    for (Tick ready : {Tick{0}, Tick{12345}}) {
+        CompositionJob job = makeJob({ready});
+        Interconnect net(1, link);
+        CompositionTiming t = fn(job, net, timing);
+        EXPECT_EQ(net.traffic().total, 0u) << GetParam().name;
+        EXPECT_EQ(net.traffic().messages, 0u) << GetParam().name;
+        EXPECT_GE(t.end, ready) << GetParam().name;
+        ASSERT_EQ(t.gpu_done.size(), 1u);
+        EXPECT_LE(t.gpu_done[0], t.end) << GetParam().name;
+    }
+}
+
+TEST_P(CompositionLiveness, SingleGpuWithEmptySubimageFinishesAtReady)
+{
+    // The fully degenerate job: one GPU, nothing rendered. No composition
+    // work exists, so the phase must end exactly when the GPU is ready.
+    ComposeFn fn = GetParam().fn;
+    CompositionJob job = makeJob({777}, 0, 0);
+    job.subimage_pixels[0] = 0;
+    Interconnect net(1, link);
+    CompositionTiming t = fn(job, net, timing);
+    EXPECT_EQ(net.traffic().total, 0u) << GetParam().name;
+    EXPECT_EQ(t.end, 777u) << GetParam().name;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Algos, CompositionLiveness,
     ::testing::Values(AlgoCase{"direct", &composeOpaqueDirectSend},

@@ -1,55 +1,82 @@
 #!/usr/bin/env python3
-"""Repo lint: simulator-specific source rules for the CHOPIN code base.
+"""Repo lint v2: simulator-specific source rules for the CHOPIN code base.
 
-Rules (each can be suppressed on a line with `// lint:allow(<rule>)`):
+A rule-registry framework: every rule is declared once (name, summary,
+path scope, matcher, fix hint) and the driver handles comment/string
+stripping, suppressions, reporting, JSON output and the self-test.
 
-  rng          No rand()/srand()/std::random_device/drand48 outside
-               src/util/rng.* — all randomness flows through the seeded
-               chopin::Rng so simulations stay reproducible.
-  wallclock    No wall-clock or host-time sources (std::chrono clocks,
-               time(), gettimeofday(), clock(), ...) in src/sim and
-               src/sfr — simulated time is the only clock the timing
-               model may observe.
-  tick-float   No implicit float/double -> Tick conversions: a Tick
-               initialised or assigned from a floating expression must go
-               through static_cast<Tick>(...), and C-style (Tick)/(float)
-               /(double) casts are banned in src/ — truncation and
-               negative wrap-around must be explicit and reviewable.
-  thread       No raw threading primitives (std::thread, std::jthread,
-               std::async, pthread_create) outside src/util/thread_pool.*
-               — all host parallelism flows through ThreadPool::parallelFor
-               so the deterministic slot-writing rules (see
-               src/util/thread_pool.hh and DESIGN.md, "Host parallelism
-               vs. simulated parallelism") are enforced in one place.
+Rules (run `--list-rules` for the live registry, `--fix-hints` for the
+remediation recipe of each finding):
 
-Run as a ctest (`ctest -R repo_lint`) or directly:
+  rng           No rand()/srand()/std::random_device/drand48 outside
+                src/util/rng.* — all randomness flows through the seeded
+                chopin::Rng so simulations stay reproducible.
+  wallclock     No wall-clock sources (std::chrono clocks, gettimeofday,
+                clock()) in src/sim and src/sfr — simulated time is the
+                only clock the timing model may observe.
+  hosttime      No host time()/date or locale calls anywhere in src/ —
+                formatting and hashing must not depend on when or where
+                the simulator runs.
+  tick-float    No implicit float/double -> Tick conversions, and no
+                C-style (Tick)/(float)/(double) casts in src/ —
+                truncation must be explicit and reviewable.
+  thread        No raw threading primitives (std::thread, std::jthread,
+                std::async, pthread_create) outside src/util/thread_pool.*
+                — all host parallelism flows through
+                ThreadPool::parallelFor.
+  unordered     No std::unordered_{map,set,...} in src/ — hash-table
+                iteration order is implementation-defined and would feed
+                schedule- or libc-dependent order into stats, hashes and
+                timing. Use std::map / sorted vectors.
+  global-state  No mutable file-scope / function-static / thread_local
+                state outside src/util/ — hidden cross-draw state breaks
+                the "results are a pure function of (trace, config)"
+                contract. The sanctioned exceptions live in util/ (global
+                thread pool) and gfx/renderer.cc (per-thread scratch,
+                suppressed explicitly).
+  naked-sync    No naked std::mutex/std::atomic/std::condition_variable
+                declarations outside src/util/ — use the annotated
+                chopin::Mutex/LockGuard wrappers (thread_annotations.hh)
+                or attach CHOPIN_GUARDED_BY so clang's thread-safety
+                analysis can see the capability.
 
-  python3 tools/lint_check.py /path/to/repo
+Suppressions: append `// chopin-lint: allow(<rule>[, <rule>...])` to the
+offending line with a comment justifying it (the legacy spelling
+`// lint:allow(...)` is still honored).
+
+Usage:
+
+  python3 tools/lint_check.py REPO_ROOT [--json report.json] [--fix-hints]
+  python3 tools/lint_check.py --self-test
+  python3 tools/lint_check.py --list-rules
+
+Exit codes: 0 clean, 1 violations, 2 usage/environment error.
 """
 
 from __future__ import annotations
 
+import argparse
+import dataclasses
+import json
 import pathlib
 import re
 import sys
+from typing import Callable, Optional
 
 SRC_EXTENSIONS = {".cc", ".hh"}
 
-RNG_RE = re.compile(
-    r"(?<![\w:])(?:std::)?(?:rand|srand|drand48|random_device)\s*\(|"
-    r"std::random_device\b")
-WALLCLOCK_RE = re.compile(
-    r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b|"
-    r"(?<![\w:.])(?:time|gettimeofday|clock|localtime|gmtime)\s*\(")
-# A Tick declared/assigned from an expression containing floating content
-# without an explicit static_cast.
-TICK_ASSIGN_RE = re.compile(r"\bTick\s+\w+\s*=\s*(?P<rhs>[^;]*);")
-FLOATING_RE = re.compile(r"\d\.\d|\b(?:float|double)\b|\.0f\b")
-CSTYLE_CAST_RE = re.compile(r"\(\s*(?:Tick|float|double)\s*\)\s*[\w(]")
-THREAD_RE = re.compile(
-    r"\bstd::(?:thread|jthread|async)\b|\bpthread_create\s*\(")
+# --- suppression ----------------------------------------------------------
 
-ALLOW_RE = re.compile(r"//\s*lint:allow\((?P<rules>[\w,\- ]+)\)")
+ALLOW_RE = re.compile(
+    r"//\s*(?:chopin-lint:\s*allow|lint:allow)\((?P<rules>[\w,\- ]+)\)")
+
+
+def allowed(comment: str, rule: str) -> bool:
+    m = ALLOW_RE.search(comment)
+    return bool(m) and rule in [r.strip() for r in m.group("rules").split(",")]
+
+
+# --- comment / string stripping ------------------------------------------
 
 
 def strip_comments_and_strings(line: str,
@@ -92,59 +119,216 @@ def strip_comments_and_strings(line: str,
     return "".join(out), "".join(comment), in_block
 
 
-def allowed(comment: str, rule: str) -> bool:
-    m = ALLOW_RE.search(comment)
-    return bool(m) and rule in [r.strip() for r in m.group("rules").split(",")]
+# --- rule registry --------------------------------------------------------
 
 
-def lint_file(path: pathlib.Path, rel: str) -> list[str]:
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    name: str
+    summary: str
+    fix_hint: str
+    applies: Callable[[str], bool]          # rel path -> in scope?
+    check: Callable[[str], Optional[str]]   # stripped code -> message
+
+
+def in_src(rel: str) -> bool:
+    return rel.startswith("src/")
+
+
+def in_sim_or_sfr(rel: str) -> bool:
+    return rel.startswith(("src/sim/", "src/sfr/"))
+
+
+def outside_util(rel: str) -> bool:
+    return in_src(rel) and not rel.startswith("src/util/")
+
+
+RNG_RE = re.compile(
+    r"(?<![\w:])(?:std::)?(?:rand|srand|drand48|random_device)\s*\(|"
+    r"std::random_device\b")
+WALLCLOCK_RE = re.compile(
+    r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b|"
+    r"(?<![\w:.])(?:gettimeofday|clock)\s*\(")
+HOSTTIME_RE = re.compile(
+    r"(?<![\w:.])(?:time|localtime|gmtime|strftime|asctime|ctime|"
+    r"setlocale)\s*\(|"
+    r"\bstd::locale\b|\.imbue\s*\(")
+TICK_ASSIGN_RE = re.compile(r"\bTick\s+\w+\s*=\s*(?P<rhs>[^;]*);")
+FLOATING_RE = re.compile(r"\d\.\d|\b(?:float|double)\b|\.0f\b")
+CSTYLE_CAST_RE = re.compile(r"\(\s*(?:Tick|float|double)\s*\)\s*[\w(]")
+THREAD_RE = re.compile(
+    r"\bstd::(?:thread|jthread|async)\b|\bpthread_create\s*\(")
+UNORDERED_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+GLOBAL_STATE_RE = re.compile(r"^\s*(?:static|thread_local)\s")
+NAKED_SYNC_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|atomic)\b")
+
+
+def check_rng(code: str) -> Optional[str]:
+    if RNG_RE.search(code):
+        return "raw randomness source; use chopin::Rng (src/util/rng.hh)"
+    return None
+
+
+def check_wallclock(code: str) -> Optional[str]:
+    if WALLCLOCK_RE.search(code):
+        return ("wall-clock / host-time source in the timing model; only "
+                "simulated Ticks may drive it")
+    return None
+
+
+def check_hosttime(code: str) -> Optional[str]:
+    if HOSTTIME_RE.search(code):
+        return ("host time()/date or locale dependence in src/; simulator "
+                "output must not vary with run time or host locale")
+    return None
+
+
+def check_tick_float(code: str) -> Optional[str]:
+    m = TICK_ASSIGN_RE.search(code)
+    if m and FLOATING_RE.search(m.group("rhs")) and \
+            "static_cast" not in m.group("rhs"):
+        return ("floating expression assigned to a Tick without "
+                "static_cast<Tick>(...)")
+    if CSTYLE_CAST_RE.search(code):
+        return ("C-style cast involving Tick/float/double; use static_cast")
+    return None
+
+
+def check_thread(code: str) -> Optional[str]:
+    if THREAD_RE.search(code):
+        return ("raw threading primitive; use ThreadPool::parallelFor "
+                "(src/util/thread_pool.hh)")
+    return None
+
+
+def check_unordered(code: str) -> Optional[str]:
+    if UNORDERED_RE.search(code):
+        return ("unordered container in src/; iteration order is "
+                "implementation-defined and feeds nondeterminism into "
+                "stats/hashes/timing")
+    return None
+
+
+def check_global_state(code: str) -> Optional[str]:
+    if not GLOBAL_STATE_RE.match(code):
+        return None
+    # Immutable or non-variable declarations are fine.
+    if re.search(r"\b(?:constexpr|consteval|static_assert)\b", code):
+        return None
+    if re.search(r"\bstatic\s+(?:const|inline\s+const)\b", code):
+        return None
+    # Heuristic: a variable declaration carries `;` or `=`; a `(` before
+    # any `=` means this line declares/defines a function instead.
+    if ";" not in code and "=" not in code:
+        return None
+    eq = code.find("=")
+    paren = code.find("(")
+    if paren != -1 and (eq == -1 or paren < eq):
+        return None
+    return ("mutable static / thread_local state outside util/; results "
+            "must be a pure function of (trace, config) — pass state "
+            "explicitly or move the cache into util/ with a determinism "
+            "argument")
+
+
+def check_naked_sync(code: str) -> Optional[str]:
+    if NAKED_SYNC_RE.search(code) and "CHOPIN_GUARDED_BY" not in code and \
+            "CHOPIN_PT_GUARDED_BY" not in code:
+        return ("naked synchronization primitive; use chopin::Mutex / "
+                "chopin::LockGuard (util/thread_annotations.hh) or annotate "
+                "the declaration with CHOPIN_GUARDED_BY so the clang "
+                "thread-safety analysis tracks it")
+    return None
+
+
+RULES = [
+    Rule("rng",
+         "seeded chopin::Rng is the only randomness source",
+         "replace with chopin::Rng drawn from the trace/config seed "
+         "(src/util/rng.hh); plumb an Rng& parameter rather than "
+         "constructing ad hoc",
+         lambda rel: in_src(rel) and not rel.startswith("src/util/rng"),
+         check_rng),
+    Rule("wallclock",
+         "timing model observes simulated Ticks only",
+         "derive the value from EventQueue::now() or a Tick parameter; "
+         "wall-clock measurement belongs in bench/ harnesses",
+         in_sim_or_sfr,
+         check_wallclock),
+    Rule("hosttime",
+         "no host time()/locale dependence in src/",
+         "drop the call or move it to tools/bench code outside src/; "
+         "timestamps in reports come from the harness, not the libraries",
+         in_src,
+         check_hosttime),
+    Rule("tick-float",
+         "float -> Tick conversions must be explicit",
+         "wrap the expression in static_cast<Tick>(...) and check the "
+         "rounding direction against the timing model's conventions",
+         in_src,
+         check_tick_float),
+    Rule("thread",
+         "host parallelism flows through ThreadPool::parallelFor",
+         "express the parallel region as ThreadPool::parallelFor over "
+         "pre-sized output slots (src/util/thread_pool.hh); raw threads "
+         "bypass the determinism contract",
+         lambda rel: in_src(rel) and
+         not rel.startswith("src/util/thread_pool"),
+         check_thread),
+    Rule("unordered",
+         "no unordered containers in src/",
+         "use std::map/std::set (ordered iteration) or a vector sorted by "
+         "an explicit deterministic key",
+         in_src,
+         check_unordered),
+    Rule("global-state",
+         "no mutable file-scope/static/thread_local state outside util/",
+         "pass the state through a context struct or function parameter; "
+         "if it is genuinely process-wide (a pool, an interner), move it "
+         "to util/ and document why it cannot affect simulation results",
+         outside_util,
+         check_global_state),
+    Rule("naked-sync",
+         "sync primitives outside util/ must be annotated wrappers",
+         "declare chopin::Mutex and guard members with "
+         "CHOPIN_GUARDED_BY(mutex); lock via chopin::LockGuard so "
+         "-Werror=thread-safety verifies every access path",
+         outside_util,
+         check_naked_sync),
+]
+
+
+# --- driver ---------------------------------------------------------------
+
+
+def lint_file(path: pathlib.Path, rel: str) -> list[dict]:
+    rules = [r for r in RULES if r.applies(rel)]
+    if not rules:
+        return []
     violations = []
-    in_sim_or_sfr = rel.startswith(("src/sim/", "src/sfr/"))
-    is_rng_impl = rel.startswith("src/util/rng")
-    is_pool_impl = rel.startswith("src/util/thread_pool")
     in_block_comment = False
-
     for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
         code, comment, in_block_comment = strip_comments_and_strings(
             raw, in_block_comment)
-
-        def report(rule: str, what: str) -> None:
-            if not allowed(comment, rule):
-                violations.append(f"{rel}:{lineno}: [{rule}] {what}")
-
-        if not is_rng_impl and RNG_RE.search(code):
-            report("rng", "raw randomness source; use chopin::Rng "
-                          "(src/util/rng.hh)")
-        if in_sim_or_sfr and WALLCLOCK_RE.search(code):
-            report("wallclock", "wall-clock / host-time source in the "
-                                "timing model; only simulated Ticks may "
-                                "drive it")
-        m = TICK_ASSIGN_RE.search(code)
-        if m and FLOATING_RE.search(m.group("rhs")) and \
-                "static_cast" not in m.group("rhs"):
-            report("tick-float", "floating expression assigned to a Tick "
-                                 "without static_cast<Tick>(...)")
-        if CSTYLE_CAST_RE.search(code):
-            report("tick-float", "C-style cast involving Tick/float/double; "
-                                 "use static_cast")
-        if not is_pool_impl and THREAD_RE.search(code):
-            report("thread", "raw threading primitive; use "
-                             "ThreadPool::parallelFor "
-                             "(src/util/thread_pool.hh)")
+        for rule in rules:
+            message = rule.check(code)
+            if message and not allowed(comment, rule.name):
+                violations.append({"file": rel, "line": lineno,
+                                   "rule": rule.name, "message": message})
     return violations
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        print("usage: lint_check.py <repo-root>", file=sys.stderr)
-        return 2
-    root = pathlib.Path(argv[1]).resolve()
+def run_lint(root: pathlib.Path, json_out: str | None,
+             fix_hints: bool) -> int:
     src = root / "src"
     if not src.is_dir():
         print(f"lint_check.py: no src/ under {root}", file=sys.stderr)
         return 2
 
-    violations: list[str] = []
+    violations: list[dict] = []
     files = 0
     for path in sorted(src.rglob("*")):
         if path.suffix not in SRC_EXTENSIONS:
@@ -152,10 +336,127 @@ def main(argv: list[str]) -> int:
         files += 1
         violations += lint_file(path, path.relative_to(root).as_posix())
 
+    hint_by_rule = {r.name: r.fix_hint for r in RULES}
     for v in violations:
-        print(v)
-    print(f"lint_check: {files} files, {len(violations)} violation(s)")
+        print(f"{v['file']}:{v['line']}: [{v['rule']}] {v['message']}")
+        if fix_hints:
+            print(f"    hint: {hint_by_rule[v['rule']]}")
+    print(f"lint_check: {files} files, {len(RULES)} rules, "
+          f"{len(violations)} violation(s)")
+
+    if json_out:
+        report = {
+            "tool": "lint_check",
+            "root": str(root),
+            "files": files,
+            "rules": [{"name": r.name, "summary": r.summary,
+                       "fix_hint": r.fix_hint} for r in RULES],
+            "violations": violations,
+        }
+        pathlib.Path(json_out).write_text(json.dumps(report, indent=2) + "\n")
     return 1 if violations else 0
+
+
+# --- self-test ------------------------------------------------------------
+# One firing snippet and one clean/suppressed snippet per rule, proving
+# each rule detects its violation and each suppression suppresses it.
+
+SELFTEST_CASES = [
+    # (rule, rel path, line of code, should fire?)
+    ("rng", "src/gfx/raster.cc", "int x = rand();", True),
+    ("rng", "src/gfx/raster.cc",
+     "int x = rand(); // chopin-lint: allow(rng)", False),
+    ("rng", "src/util/rng.cc", "int x = rand();", False),  # impl exempt
+    ("wallclock", "src/sim/event_queue.cc",
+     "auto t = std::chrono::steady_clock::now();", True),
+    ("wallclock", "src/gfx/raster.cc",
+     "auto t = std::chrono::steady_clock::now();", False),  # scope: sim/sfr
+    ("hosttime", "src/gfx/raster.cc", "time_t t = time(nullptr);", True),
+    ("hosttime", "src/stats/table.cc", "os.imbue(std::locale(\"\"));", True),
+    ("hosttime", "src/gpu/timing.cc", "Tick finish_time(int g);", False),
+    ("tick-float", "src/gpu/timing.cc", "Tick t = 2.5 * cycles;", True),
+    ("tick-float", "src/gpu/timing.cc",
+     "Tick t = static_cast<Tick>(2.5 * cycles);", False),
+    ("thread", "src/comp/algorithms.cc",
+     "std::thread worker(run);", True),
+    ("thread", "src/util/thread_pool.cc",
+     "std::thread worker(run);", False),  # pool impl exempt
+    ("unordered", "src/sfr/grouping.cc",
+     "std::unordered_map<int, int> seen;", True),
+    ("unordered", "src/sfr/grouping.cc",
+     "std::unordered_map<int, int> seen; // chopin-lint: allow(unordered)",
+     False),
+    ("global-state", "src/gfx/renderer.cc",
+     "thread_local RenderScratch scratch;", True),
+    ("global-state", "src/gfx/renderer.cc",
+     "static int frame_counter = 0;", True),
+    ("global-state", "src/gfx/renderer.cc",
+     "static constexpr int kTileSize = 64;", False),
+    ("global-state", "src/gfx/renderer.cc",
+     "static BinGrid makeGrid(const Viewport &vp);", False),  # function
+    ("global-state", "src/util/thread_pool.cc",
+     "thread_local bool tl_in_parallel = false;", False),  # util/ exempt
+    ("naked-sync", "src/net/interconnect.hh",
+     "std::mutex m;", True),
+    ("naked-sync", "src/net/interconnect.hh",
+     "std::atomic<int> hits CHOPIN_GUARDED_BY(m);", False),  # annotated
+    ("naked-sync", "src/util/thread_pool.cc",
+     "std::condition_variable cv;", False),  # util/ exempt
+    # Legacy suppression spelling still honored.
+    ("rng", "src/gfx/raster.cc",
+     "int x = rand(); // lint:allow(rng)", False),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    rules_by_name = {r.name: r for r in RULES}
+    for rule_name, rel, line, should_fire in SELFTEST_CASES:
+        rule = rules_by_name[rule_name]
+        code, comment, _ = strip_comments_and_strings(line, False)
+        fired = bool(rule.applies(rel)) and rule.check(code) is not None \
+            and not allowed(comment, rule_name)
+        if fired == should_fire:
+            verdict = "fires on" if should_fire else "passes"
+            print(f"self-test ok: [{rule_name}] {verdict} {line!r}")
+        else:
+            print(f"self-test FAIL: [{rule_name}] {line!r} in {rel}: "
+                  f"fired={fired}, expected {should_fire}")
+            failures += 1
+    # Every rule must appear in the case list with at least one firing case.
+    for r in RULES:
+        if not any(c[0] == r.name and c[3] for c in SELFTEST_CASES):
+            print(f"self-test FAIL: rule {r.name} has no firing case")
+            failures += 1
+    print(f"lint_check self-test: {failures} failure(s)")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("root", nargs="?", type=pathlib.Path,
+                    help="repository root (containing src/)")
+    ap.add_argument("--json", metavar="PATH", default=None,
+                    help="write a machine-readable violation report")
+    ap.add_argument("--fix-hints", action="store_true",
+                    help="print the remediation recipe under each finding")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule registry and exit")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify every rule fires on an injected violation")
+    args = ap.parse_args(argv[1:])
+
+    if args.list_rules:
+        for r in RULES:
+            print(f"{r.name:<13} {r.summary}")
+        return 0
+    if args.self_test:
+        return self_test()
+    if args.root is None:
+        ap.error("root is required unless --self-test/--list-rules is given")
+    return run_lint(args.root.resolve(), args.json, args.fix_hints)
 
 
 if __name__ == "__main__":

@@ -2,7 +2,10 @@
 """Run clang-tidy over every src/ translation unit with the repo .clang-tidy.
 
 Registered as the `clang_tidy` ctest when a clang-tidy binary is found at
-configure time; CI runs it with warnings-as-errors. Usage:
+configure time; CI runs it with warnings-as-errors. If the binary has since
+disappeared (stale build tree, stripped container) the script reports an
+explicit SKIP and exits 77 — ctest marks the test "Skipped" via
+SKIP_RETURN_CODE instead of silently passing. Usage:
 
   python3 tools/run_tidy.py [--clang-tidy BIN] [--build-dir DIR] repo_root
 """
@@ -11,8 +14,24 @@ from __future__ import annotations
 
 import argparse
 import pathlib
+import shutil
 import subprocess
 import sys
+
+EXIT_SKIP = 77  # conventional automake/ctest "test skipped" exit code
+
+
+def resolveChecks(binary: str, build: pathlib.Path) -> str:
+    """The effective check list clang-tidy will run (first src/ file)."""
+    try:
+        proc = subprocess.run(
+            [binary, "-p", str(build), "--list-checks"],
+            capture_output=True, text=True, timeout=60)
+    except (OSError, subprocess.TimeoutExpired) as e:
+        return f"(could not list checks: {e})"
+    checks = [line.strip() for line in proc.stdout.splitlines()
+              if line.startswith("    ")]
+    return ", ".join(checks) if checks else proc.stdout.strip()
 
 
 def main() -> int:
@@ -22,6 +41,13 @@ def main() -> int:
                     help="build tree containing compile_commands.json")
     ap.add_argument("root", type=pathlib.Path)
     args = ap.parse_args()
+
+    resolved = shutil.which(args.clang_tidy)
+    if resolved is None:
+        print(f"run_tidy.py: SKIP: clang-tidy binary '{args.clang_tidy}' "
+              "not found on this machine; install clang-tidy (or reconfigure "
+              "so the clang_tidy test is not registered) to run this check")
+        return EXIT_SKIP
 
     root = args.root.resolve()
     build = pathlib.Path(args.build_dir)
@@ -36,15 +62,17 @@ def main() -> int:
         print("run_tidy.py: no sources under src/", file=sys.stderr)
         return 2
 
-    cmd = [args.clang_tidy, "-p", str(build), "--quiet",
+    version = subprocess.run([resolved, "--version"], capture_output=True,
+                             text=True).stdout.strip().splitlines()
+    print(f"run_tidy.py: binary: {resolved}")
+    if version:
+        print(f"run_tidy.py: {' / '.join(v.strip() for v in version if v)}")
+    print(f"run_tidy.py: checks: {resolveChecks(resolved, build)}")
+
+    cmd = [resolved, "-p", str(build), "--quiet",
            "--warnings-as-errors=*"] + sources
-    print("running:", " ".join(cmd[:5]), f"... ({len(sources)} files)")
-    try:
-        proc = subprocess.run(cmd)
-    except FileNotFoundError:
-        print(f"run_tidy.py: clang-tidy binary '{args.clang_tidy}' not found",
-              file=sys.stderr)
-        return 2
+    print(f"run_tidy.py: running over {len(sources)} translation units")
+    proc = subprocess.run(cmd)
     return proc.returncode
 
 

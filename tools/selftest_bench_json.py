@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Regression test for tools/bench_json.py against checked-in fixtures.
+
+bench_json.py is the CI perf gate for bench/perf_frame: --compare is the
+cross-run determinism check (frame hashes / simulated cycles must match
+between a --jobs=1 run and a --jobs=N run) and --min-speedup is the
+scalability bound. A gate that silently stops failing is worse than no
+gate, so this script proves both paths still reject bad inputs, using
+fixture dumps under tests/data/bench_json/:
+
+  run_fast.json     healthy run, gmean speedup 3.47x
+  run_slow.json     same simulation results (hashes/cycles/tris identical
+                    to run_fast) but no host speedup, gmean 1.02x
+  run_badhash.json  run_fast with one frame_hash and one cycle count
+                    corrupted — what a determinism regression looks like
+
+Registered as the `bench_json_selftest` ctest. Usage:
+
+  python3 tools/selftest_bench_json.py /path/to/repo
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+FAILED = 0
+
+
+def runTool(root: pathlib.Path, *argv: str) -> subprocess.CompletedProcess:
+    cmd = [sys.executable, str(root / "tools" / "bench_json.py"), *argv]
+    return subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+
+
+def expect(name: str, proc: subprocess.CompletedProcess,
+           want_exit: int, want_in_output: str = "") -> None:
+    global FAILED
+    output = proc.stdout + proc.stderr
+    problems = []
+    if proc.returncode != want_exit:
+        problems.append(f"exit {proc.returncode}, expected {want_exit}")
+    if want_in_output and want_in_output not in output:
+        problems.append(f"output lacks {want_in_output!r}")
+    if problems:
+        FAILED += 1
+        print(f"FAIL: {name}: {'; '.join(problems)}")
+        print(output.rstrip())
+    else:
+        print(f"ok: {name}")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: selftest_bench_json.py <repo-root>", file=sys.stderr)
+        return 2
+    root = pathlib.Path(sys.argv[1]).resolve()
+    data = root / "tests" / "data" / "bench_json"
+    fast = str(data / "run_fast.json")
+    slow = str(data / "run_slow.json")
+    badhash = str(data / "run_badhash.json")
+
+    # Plain report on a healthy dump succeeds.
+    expect("report(run_fast)", runTool(root, fast),
+           want_exit=0, want_in_output="geometric-mean speedup: 3.47x")
+
+    # Determinism compare: same hashes/cycles/tris at different host speeds
+    # is exactly the jobs=1 vs jobs=N case and must pass.
+    expect("compare(fast, slow) identical results",
+           runTool(root, fast, "--compare", slow),
+           want_exit=0, want_in_output="configurations identical")
+
+    # Corrupted hash and cycle count must fail the compare, naming both.
+    proc = runTool(root, fast, "--compare", badhash)
+    expect("compare(fast, badhash) rejects", proc,
+           want_exit=1, want_in_output="frame_hash differs")
+    expect("compare(fast, badhash) also flags cycles", proc,
+           want_exit=1, want_in_output="cycles differs")
+
+    # Speedup gate: the slow run is below the bound, the fast one above it.
+    expect("min-speedup rejects run_slow",
+           runTool(root, slow, "--min-speedup", "2.0"),
+           want_exit=1, want_in_output="FAIL: gmean speedup")
+    expect("min-speedup accepts run_fast",
+           runTool(root, fast, "--min-speedup", "2.0"),
+           want_exit=0, want_in_output="OK: gmean speedup")
+
+    # Malformed input (missing top-level keys) is a hard error, not a pass.
+    expect("malformed dump rejected",
+           runTool(root, str(data / "run_malformed.json")),
+           want_exit=1, want_in_output="missing key")
+
+    print(f"bench_json self-test: {FAILED} failure(s)")
+    return 1 if FAILED else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
