@@ -1,12 +1,29 @@
 #include "common.hh"
 
 #include <cmath>
-#include <sstream>
+#include <cstdlib>
 
+#include "util/check.hh"
 #include "util/log.hh"
 
 namespace chopin::bench
 {
+
+namespace
+{
+
+/** Basename of argv[0] for "<prog>: error: ..." diagnostics. */
+std::string
+programName(int argc, char **argv)
+{
+    if (argc < 1 || argv[0] == nullptr)
+        return "bench";
+    std::string prog = argv[0];
+    std::size_t slash = prog.find_last_of('/');
+    return slash == std::string::npos ? prog : prog.substr(slash + 1);
+}
+
+} // namespace
 
 Harness::Harness(std::string description, int default_scale)
     : cli(description), desc(std::move(description)),
@@ -19,18 +36,50 @@ Harness::Harness(std::string description, int default_scale)
                 "benchmark: cod2 cry grid mirror nfs stal ut3 wolf or 'all'");
     cli.addFlag("csv", "true", "print a CSV block after each table");
     cli.addFlag("jobs", "0",
-                "host worker threads for the functional renderer "
-                "(0 = CHOPIN_JOBS env or hardware concurrency; results are "
-                "bit-identical at any value)");
+                "host worker threads for the functional renderer inside one "
+                "simulation (0 = CHOPIN_JOBS env or hardware concurrency; "
+                "results are bit-identical at any value)");
+    cli.addFlag("sweep-jobs", "0",
+                "concurrent scenarios (whole simulations) executed by the "
+                "sweep engine (0 = hardware concurrency, 1 = serial; inner "
+                "rendering runs serial while scenarios are parallel; "
+                "results are bit-identical at any value)");
+    const char *cache_env = std::getenv("CHOPIN_RESULT_CACHE");
+    cli.addFlag("cache", cache_env == nullptr ? "" : cache_env,
+                "on-disk result cache directory shared across harnesses "
+                "(default: CHOPIN_RESULT_CACHE env; empty = disabled)");
 }
+
+Harness::~Harness() = default;
 
 void
 Harness::parse(int argc, char **argv)
 {
+    // Malformed arguments produce a "<prog>: error: ..." line and exit
+    // code 2 instead of wrapping through unsigned conversions or aborting
+    // deep inside the library.
+    setCliCheckTool(programName(argc, argv));
     cli.parse(argc, argv);
-    scale_div = static_cast<int>(cli.getInt("scale"));
-    gpu_count = static_cast<unsigned>(cli.getInt("gpus"));
-    setGlobalJobs(static_cast<unsigned>(cli.getInt("jobs")));
+
+    long scale = cli.getInt("scale");
+    CHOPIN_CHECK(scale >= 1 && scale <= 1000000,
+                 "--scale must be in [1, 1000000], got ", scale);
+    scale_div = static_cast<int>(scale);
+
+    long gpus_raw = cli.getInt("gpus");
+    CHOPIN_CHECK(gpus_raw >= 1 && gpus_raw <= 256,
+                 "--gpus must be in [1, 256], got ", gpus_raw);
+    gpu_count = static_cast<unsigned>(gpus_raw);
+
+    long jobs = cli.getInt("jobs");
+    CHOPIN_CHECK(jobs >= 0 && jobs <= 1024,
+                 "--jobs must be in [0, 1024], got ", jobs);
+    setGlobalJobs(static_cast<unsigned>(jobs));
+
+    long sweep_jobs = cli.getInt("sweep-jobs");
+    CHOPIN_CHECK(sweep_jobs >= 0 && sweep_jobs <= 1024,
+                 "--sweep-jobs must be in [0, 1024], got ", sweep_jobs);
+
     std::string bench = cli.getString("bench");
     if (bench == "all") {
         for (const BenchmarkProfile &p : allBenchmarkProfiles())
@@ -39,6 +88,13 @@ Harness::parse(int argc, char **argv)
         benchmarkProfile(bench); // validates the name
         benches.push_back(bench);
     }
+
+    SweepOptions opts;
+    opts.sweep_jobs = static_cast<unsigned>(sweep_jobs);
+    opts.scale = scale_div;
+    opts.cache_dir = cli.getString("cache");
+    sweep = std::make_unique<SweepRunner>(opts);
+
     std::cout << "# " << desc << "\n# scale divisor: " << scale_div
               << (scale_div == 1 ? " (full Table III trace sizes)" : "")
               << "\n\n";
@@ -47,27 +103,43 @@ Harness::parse(int argc, char **argv)
 const FrameTrace &
 Harness::trace(const std::string &bench)
 {
-    auto it = traces.find(bench);
-    if (it == traces.end())
-        it = traces.emplace(bench, generateBenchmark(bench, scale_div))
-                 .first;
-    return it->second;
+    CHOPIN_CHECK(sweep != nullptr, "Harness::trace() before parse()");
+    return sweep->trace(bench);
 }
 
 const FrameResult &
 Harness::run(Scheme scheme, const std::string &bench,
              const SystemConfig &cfg)
 {
-    std::ostringstream key;
-    key << bench << "/" << toString(scheme) << "/" << cfg.num_gpus << "/"
-        << cfg.link.bytes_per_cycle << "/" << cfg.link.latency << "/"
-        << cfg.group_threshold << "/" << cfg.sched_update_tris << "/"
-        << cfg.cull_retention << "/" << toString(cfg.comp_payload);
-    auto it = results.find(key.str());
-    if (it == results.end())
-        it = results.emplace(key.str(), runScheme(scheme, cfg, trace(bench)))
-                 .first;
-    return it->second;
+    CHOPIN_CHECK(sweep != nullptr, "Harness::run() before parse()");
+    return sweep->run(scheme, bench, cfg);
+}
+
+void
+Harness::prefetch(const std::vector<Scenario> &grid_scenarios)
+{
+    CHOPIN_CHECK(sweep != nullptr, "Harness::prefetch() before parse()");
+    sweep->prefetch(grid_scenarios);
+}
+
+std::vector<Scenario>
+Harness::grid(const std::vector<Scheme> &schemes,
+              const std::vector<SystemConfig> &cfgs) const
+{
+    std::vector<Scenario> out;
+    out.reserve(schemes.size() * cfgs.size() * benches.size());
+    for (const SystemConfig &cfg : cfgs)
+        for (Scheme s : schemes)
+            for (const std::string &name : benches)
+                out.push_back(Scenario{s, name, cfg});
+    return out;
+}
+
+SweepRunner &
+Harness::runner()
+{
+    CHOPIN_CHECK(sweep != nullptr, "Harness::runner() before parse()");
+    return *sweep;
 }
 
 void

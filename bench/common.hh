@@ -3,23 +3,36 @@
  * Shared scaffolding for the per-figure benchmark harnesses.
  *
  * Every harness accepts:
- *   --scale=N   trace scale divisor (1 = the paper's full Table III sizes;
- *               scaled traces are proportional miniatures, see
- *               trace/profile.hh, so relative results are preserved)
- *   --gpus=N    GPU count where the figure does not sweep it
- *   --bench=X   restrict to one benchmark (default: all eight)
- *   --csv=B     also print a machine-readable CSV block (default true)
+ *   --scale=N      trace scale divisor (1 = the paper's full Table III
+ *                  sizes; scaled traces are proportional miniatures, see
+ *                  trace/profile.hh, so relative results are preserved)
+ *   --gpus=N       GPU count where the figure does not sweep it
+ *   --bench=X      restrict to one benchmark (default: all eight)
+ *   --csv=B        also print a machine-readable CSV block (default true)
+ *   --jobs=N       inner renderer host threads (per simulation)
+ *   --sweep-jobs=N outer concurrent scenarios (see core/sweep.hh; inner
+ *                  rendering is forced serial while scenarios run in
+ *                  parallel)
+ *   --cache=DIR    on-disk content-addressed result cache (default: the
+ *                  CHOPIN_RESULT_CACHE environment variable; empty = off)
+ *
+ * Harness::run() is backed by the sweep engine (core/sweep.hh): results
+ * are memoized under the exhaustive scenario fingerprint — never a
+ * hand-listed field subset — and shared through the optional disk cache.
+ * Harnesses that know their whole grid up front call prefetch() once,
+ * which executes every cell scenario-parallel before the first read.
  */
 
 #ifndef CHOPIN_BENCH_COMMON_HH
 #define CHOPIN_BENCH_COMMON_HH
 
 #include <iostream>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/chopin.hh"
+#include "core/sweep.hh"
 
 namespace chopin::bench
 {
@@ -33,6 +46,7 @@ class Harness
      * @param default_scale default trace scale divisor for this figure
      */
     Harness(std::string description, int default_scale);
+    ~Harness();
 
     /** Register an extra flag before parse(). */
     void addFlag(const std::string &name, const std::string &def,
@@ -41,6 +55,11 @@ class Harness
         cli.addFlag(name, def, help);
     }
 
+    /**
+     * Parse and validate argv. Malformed values (e.g. --gpus=-1,
+     * --scale=0) produce a "<prog>: error: ..." diagnostic and exit
+     * code 2; they never wrap through unsigned conversions.
+     */
     void parse(int argc, char **argv);
 
     int scale() const { return scale_div; }
@@ -55,6 +74,22 @@ class Harness
     const FrameResult &run(Scheme scheme, const std::string &bench,
                            const SystemConfig &cfg);
 
+    /**
+     * Execute a figure's whole grid scenario-parallel before the first
+     * read; every later run() against a grid cell is a memo hit.
+     */
+    void prefetch(const std::vector<Scenario> &grid);
+
+    /**
+     * Convenience grid builder: the cross product of @p schemes x the
+     * selected benchmarks for each config in @p cfgs.
+     */
+    std::vector<Scenario> grid(const std::vector<Scheme> &schemes,
+                               const std::vector<SystemConfig> &cfgs) const;
+
+    /** The underlying sweep engine (valid after parse()). */
+    SweepRunner &runner();
+
     /** Print the table, then its CSV block if --csv. */
     void emit(const TextTable &table) const;
 
@@ -65,8 +100,7 @@ class Harness
     int scale_div = 1;
     unsigned gpu_count = 8;
     std::vector<std::string> benches;
-    std::map<std::string, FrameTrace> traces;
-    std::map<std::string, FrameResult> results;
+    std::unique_ptr<SweepRunner> sweep;
 };
 
 /** Geometric mean of a non-empty vector of positive ratios. */

@@ -20,6 +20,14 @@ main(int argc, char **argv)
     const Scheme schemes[] = {Scheme::Gpupd, Scheme::GpupdIdeal,
                               Scheme::Chopin, Scheme::ChopinCompSched,
                               Scheme::ChopinIdeal};
+    {
+        SystemConfig cfg;
+        cfg.num_gpus = h.gpus();
+        h.prefetch(h.grid({Scheme::Duplication, Scheme::Gpupd,
+                           Scheme::GpupdIdeal, Scheme::Chopin,
+                           Scheme::ChopinCompSched, Scheme::ChopinIdeal},
+                          {cfg}));
+    }
     TextTable table({"benchmark", "GPUpd", "IdealGPUpd", "CHOPIN",
                      "CHOPIN+CompSched", "IdealCHOPIN"});
     std::vector<std::vector<double>> speedups(std::size(schemes));

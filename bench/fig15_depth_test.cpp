@@ -20,6 +20,12 @@ main(int argc, char **argv)
               1);
     h.parse(argc, argv);
 
+    {
+        SystemConfig cfg;
+        cfg.num_gpus = h.gpus();
+        h.prefetch(h.grid({Scheme::Duplication, Scheme::ChopinCompSched},
+                          {cfg}));
+    }
     TextTable table({"benchmark", "dup early-pass", "dup late-pass",
                      "chopin early-pass", "chopin late-pass",
                      "passing ratio", "shaded ratio"});

@@ -22,6 +22,18 @@ main(int argc, char **argv)
     const Scheme schemes[] = {Scheme::Gpupd, Scheme::GpupdIdeal,
                               Scheme::Chopin, Scheme::ChopinCompSched,
                               Scheme::ChopinIdeal};
+    {
+        std::vector<SystemConfig> cfgs;
+        for (unsigned gpus : counts) {
+            SystemConfig cfg;
+            cfg.num_gpus = gpus;
+            cfgs.push_back(cfg);
+        }
+        h.prefetch(h.grid({Scheme::Duplication, Scheme::Gpupd,
+                           Scheme::GpupdIdeal, Scheme::Chopin,
+                           Scheme::ChopinCompSched, Scheme::ChopinIdeal},
+                          cfgs));
+    }
     TextTable table({"gpus", "GPUpd", "IdealGPUpd", "CHOPIN",
                      "CHOPIN+CompSched", "IdealCHOPIN"});
     for (unsigned gpus : counts) {

@@ -20,6 +20,19 @@ main(int argc, char **argv)
     const Scheme schemes[] = {Scheme::Gpupd, Scheme::GpupdIdeal,
                               Scheme::Chopin, Scheme::ChopinCompSched,
                               Scheme::ChopinIdeal};
+    {
+        std::vector<SystemConfig> cfgs;
+        for (double bw : bandwidths) {
+            SystemConfig cfg;
+            cfg.num_gpus = h.gpus();
+            cfg.link.bytes_per_cycle = bw;
+            cfgs.push_back(cfg);
+        }
+        h.prefetch(h.grid({Scheme::Duplication, Scheme::Gpupd,
+                           Scheme::GpupdIdeal, Scheme::Chopin,
+                           Scheme::ChopinCompSched, Scheme::ChopinIdeal},
+                          cfgs));
+    }
     TextTable table({"bandwidth", "GPUpd", "IdealGPUpd", "CHOPIN",
                      "CHOPIN+CompSched", "IdealCHOPIN"});
     for (double bw : bandwidths) {

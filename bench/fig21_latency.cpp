@@ -20,6 +20,19 @@ main(int argc, char **argv)
     const Scheme schemes[] = {Scheme::Gpupd, Scheme::GpupdIdeal,
                               Scheme::Chopin, Scheme::ChopinCompSched,
                               Scheme::ChopinIdeal};
+    {
+        std::vector<SystemConfig> cfgs;
+        for (Tick lat : latencies) {
+            SystemConfig cfg;
+            cfg.num_gpus = h.gpus();
+            cfg.link.latency = lat;
+            cfgs.push_back(cfg);
+        }
+        h.prefetch(h.grid({Scheme::Duplication, Scheme::Gpupd,
+                           Scheme::GpupdIdeal, Scheme::Chopin,
+                           Scheme::ChopinCompSched, Scheme::ChopinIdeal},
+                          cfgs));
+    }
     TextTable table({"latency", "GPUpd", "IdealGPUpd", "CHOPIN",
                      "CHOPIN+CompSched", "IdealCHOPIN"});
     for (Tick lat : latencies) {

@@ -1,0 +1,521 @@
+#include "core/sweep.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include <unistd.h> // getpid(), for unique cache temp-file names
+
+#include "gfx/surface.hh"
+#include "util/check.hh"
+#include "util/fingerprint.hh"
+
+namespace chopin
+{
+
+std::uint64_t
+scenarioFingerprint(Scheme scheme, std::uint64_t trace_fp,
+                    const SystemConfig &cfg, std::uint32_t cache_version)
+{
+    Fingerprinter fp;
+    fp.str("Scenario/v1");
+    fp.u64(cache_version);
+    fp.u64(static_cast<std::uint64_t>(scheme));
+    fp.u64(trace_fp);
+    fp.u64(cfg.fingerprint());
+    return fp.value();
+}
+
+// --- FrameResult (de)serialization ----------------------------------------
+//
+// The on-disk layout is explicit field-by-field little-endian (like
+// trace_io.cc), framed by a magic/version/key header and a trailing
+// sentinel. The image is run-length encoded over bit-identical pixels:
+// rendered frames have large uniform regions (clear color, sky), and the
+// encoding is lossless, so the cached FrameResult round-trips bit-exactly.
+
+namespace
+{
+
+constexpr std::uint32_t resultMagic = 0x43485243;    // "CHRC"
+constexpr std::uint32_t resultEndMagic = 0x444e4552; // "ENDR"
+
+/** Reader that fails soft: every get() after a short read returns false
+ *  and poisons the reader, so corrupt files surface as a rejected load
+ *  rather than a crash or a fatal(). */
+class SoftReader
+{
+  public:
+    explicit SoftReader(const std::string &path)
+        : is(path, std::ios::binary)
+    {
+        ok_flag = is.good();
+    }
+
+    bool opened() const { return ok_flag; }
+
+    template <typename T>
+    bool
+    get(T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (!ok_flag)
+            return false;
+        is.read(reinterpret_cast<char *>(&v), sizeof(T));
+        ok_flag = static_cast<bool>(is);
+        return ok_flag;
+    }
+
+    /** True iff every byte has been consumed (no trailing garbage). */
+    bool
+    atEof()
+    {
+        if (!ok_flag)
+            return false;
+        return is.peek() == std::ifstream::traits_type::eof();
+    }
+
+  private:
+    std::ifstream is;
+    bool ok_flag = false;
+};
+
+template <typename T>
+void
+put(std::ostream &os, const T &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+void
+putTraffic(std::ostream &os, const TrafficStats &t)
+{
+    put(os, t.total);
+    for (Bytes b : t.by_class)
+        put(os, b);
+    put(os, t.messages);
+}
+
+bool
+getTraffic(SoftReader &r, TrafficStats &t)
+{
+    if (!r.get(t.total))
+        return false;
+    for (Bytes &b : t.by_class)
+        if (!r.get(b))
+            return false;
+    return r.get(t.messages);
+}
+
+void
+putStats(std::ostream &os, const DrawStats &s)
+{
+    put(os, s.verts_shaded);
+    put(os, s.tris_in);
+    put(os, s.tris_clipped);
+    put(os, s.tris_culled);
+    put(os, s.tris_rasterized);
+    put(os, s.tris_coarse_rejected);
+    put(os, s.frags_generated);
+    put(os, s.frags_early_pass);
+    put(os, s.frags_early_fail);
+    put(os, s.frags_late_pass);
+    put(os, s.frags_late_fail);
+    put(os, s.frags_shaded);
+    put(os, s.frags_textured);
+    put(os, s.frags_written);
+}
+
+bool
+getStats(SoftReader &r, DrawStats &s)
+{
+    return r.get(s.verts_shaded) && r.get(s.tris_in) &&
+           r.get(s.tris_clipped) && r.get(s.tris_culled) &&
+           r.get(s.tris_rasterized) && r.get(s.tris_coarse_rejected) &&
+           r.get(s.frags_generated) && r.get(s.frags_early_pass) &&
+           r.get(s.frags_early_fail) && r.get(s.frags_late_pass) &&
+           r.get(s.frags_late_fail) && r.get(s.frags_shaded) &&
+           r.get(s.frags_textured) && r.get(s.frags_written);
+}
+
+void
+putImageRle(std::ostream &os, const Image &img)
+{
+    put(os, static_cast<std::int32_t>(img.width()));
+    put(os, static_cast<std::int32_t>(img.height()));
+    const std::vector<Color> &px = img.data();
+    std::uint64_t runs = 0;
+    for (std::size_t i = 0; i < px.size();) {
+        std::size_t j = i + 1;
+        while (j < px.size() &&
+               std::memcmp(&px[j], &px[i], sizeof(Color)) == 0)
+            ++j;
+        ++runs;
+        i = j;
+    }
+    put(os, runs);
+    for (std::size_t i = 0; i < px.size();) {
+        std::size_t j = i + 1;
+        while (j < px.size() &&
+               std::memcmp(&px[j], &px[i], sizeof(Color)) == 0)
+            ++j;
+        put(os, static_cast<std::uint32_t>(j - i));
+        put(os, px[i].r);
+        put(os, px[i].g);
+        put(os, px[i].b);
+        put(os, px[i].a);
+        i = j;
+    }
+}
+
+bool
+getImageRle(SoftReader &r, Image &img)
+{
+    std::int32_t w = 0, h = 0;
+    if (!r.get(w) || !r.get(h))
+        return false;
+    if (w < 0 || h < 0 || w > (1 << 16) || h > (1 << 16))
+        return false;
+    std::uint64_t pixels =
+        static_cast<std::uint64_t>(w) * static_cast<std::uint64_t>(h);
+    std::uint64_t runs = 0;
+    if (!r.get(runs) || runs > pixels)
+        return false;
+    if (pixels == 0 && runs != 0)
+        return false;
+    img = (w > 0 && h > 0) ? Image(w, h) : Image();
+    std::vector<Color> &px = img.data();
+    std::uint64_t filled = 0;
+    for (std::uint64_t run = 0; run < runs; ++run) {
+        std::uint32_t count = 0;
+        Color c;
+        if (!r.get(count) || !r.get(c.r) || !r.get(c.g) || !r.get(c.b) ||
+            !r.get(c.a))
+            return false;
+        if (count == 0 || filled + count > pixels)
+            return false;
+        for (std::uint32_t i = 0; i < count; ++i)
+            px[filled + i] = c;
+        filled += count;
+    }
+    return filled == pixels;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string cache_dir, std::uint32_t schema_version)
+    : dir(std::move(cache_dir)), version(schema_version)
+{
+    CHOPIN_CHECK(!dir.empty(), "result cache directory must not be empty");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    CHOPIN_CHECK(!ec, "cannot create result cache directory '", dir,
+                 "': ", ec.message());
+}
+
+std::string
+ResultCache::path(std::uint64_t key) const
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string name(16, '0');
+    std::uint64_t v = key;
+    for (int i = 15; i >= 0; --i, v >>= 4)
+        name[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    return dir + "/" + name + ".chopinres";
+}
+
+CacheLoad
+ResultCache::load(std::uint64_t key, FrameResult &out) const
+{
+    SoftReader r(path(key));
+    if (!r.opened())
+        return CacheLoad::Miss;
+
+    std::uint32_t magic = 0, file_version = 0;
+    std::uint64_t file_key = 0;
+    if (!r.get(magic) || magic != resultMagic)
+        return CacheLoad::Rejected;
+    if (!r.get(file_version) || file_version != version)
+        return CacheLoad::Rejected;
+    if (!r.get(file_key) || file_key != key)
+        return CacheLoad::Rejected;
+
+    FrameResult res;
+    std::uint32_t scheme_raw = 0;
+    if (!r.get(scheme_raw) ||
+        scheme_raw > static_cast<std::uint32_t>(Scheme::ChopinIdeal))
+        return CacheLoad::Rejected;
+    res.scheme = static_cast<Scheme>(scheme_raw);
+    if (!r.get(res.num_gpus) || !r.get(res.cycles))
+        return CacheLoad::Rejected;
+    CycleBreakdown &bd = res.breakdown;
+    if (!r.get(bd.normal_pipeline) || !r.get(bd.prim_projection) ||
+        !r.get(bd.prim_distribution) || !r.get(bd.composition) ||
+        !r.get(bd.sync))
+        return CacheLoad::Rejected;
+    if (!getTraffic(r, res.traffic) || !getStats(r, res.totals))
+        return CacheLoad::Rejected;
+    if (!r.get(res.geom_busy) || !r.get(res.raster_busy) ||
+        !r.get(res.frag_busy))
+        return CacheLoad::Rejected;
+
+    std::uint64_t n_timings = 0;
+    if (!r.get(n_timings) || n_timings > (1ull << 26))
+        return CacheLoad::Rejected;
+    res.draw_timings.resize(n_timings);
+    for (DrawTiming &t : res.draw_timings) {
+        if (!r.get(t.id) || !r.get(t.tris) || !r.get(t.issue) ||
+            !r.get(t.geom_done) || !r.get(t.done) || !r.get(t.geom_cycles) ||
+            !r.get(t.raster_cycles) || !r.get(t.frag_cycles))
+            return CacheLoad::Rejected;
+    }
+
+    if (!r.get(res.groups_total) || !r.get(res.groups_distributed) ||
+        !r.get(res.tris_distributed) || !r.get(res.retained_culled) ||
+        !r.get(res.sched_status_bytes))
+        return CacheLoad::Rejected;
+    if (!r.get(res.frame_hash) || !r.get(res.content_hash))
+        return CacheLoad::Rejected;
+    if (!getImageRle(r, res.image))
+        return CacheLoad::Rejected;
+
+    std::uint32_t end_magic = 0;
+    if (!r.get(end_magic) || end_magic != resultEndMagic || !r.atEof())
+        return CacheLoad::Rejected;
+
+    // Content validation: the stored image must reproduce the stored
+    // frame hash. This catches bit rot in the bulk payload that the
+    // framing checks above cannot see.
+    if (frameHash(res.image) != res.frame_hash)
+        return CacheLoad::Rejected;
+
+    out = std::move(res);
+    return CacheLoad::Hit;
+}
+
+bool
+ResultCache::store(std::uint64_t key, const FrameResult &r) const
+{
+    std::string final_path = path(key);
+    std::string tmp_path =
+        final_path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return false;
+        put(os, resultMagic);
+        put(os, version);
+        put(os, key);
+        put(os, static_cast<std::uint32_t>(r.scheme));
+        put(os, r.num_gpus);
+        put(os, r.cycles);
+        put(os, r.breakdown.normal_pipeline);
+        put(os, r.breakdown.prim_projection);
+        put(os, r.breakdown.prim_distribution);
+        put(os, r.breakdown.composition);
+        put(os, r.breakdown.sync);
+        putTraffic(os, r.traffic);
+        putStats(os, r.totals);
+        put(os, r.geom_busy);
+        put(os, r.raster_busy);
+        put(os, r.frag_busy);
+        put(os, static_cast<std::uint64_t>(r.draw_timings.size()));
+        for (const DrawTiming &t : r.draw_timings) {
+            put(os, t.id);
+            put(os, t.tris);
+            put(os, t.issue);
+            put(os, t.geom_done);
+            put(os, t.done);
+            put(os, t.geom_cycles);
+            put(os, t.raster_cycles);
+            put(os, t.frag_cycles);
+        }
+        put(os, r.groups_total);
+        put(os, r.groups_distributed);
+        put(os, r.tris_distributed);
+        put(os, r.retained_culled);
+        put(os, r.sched_status_bytes);
+        put(os, r.frame_hash);
+        put(os, r.content_hash);
+        putImageRle(os, r.image);
+        put(os, resultEndMagic);
+        if (!os)
+            return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp_path, ec);
+        return false;
+    }
+    return true;
+}
+
+// --- SweepRunner ----------------------------------------------------------
+
+SweepRunner::SweepRunner(SweepOptions options) : opts(std::move(options))
+{
+    CHOPIN_CHECK(opts.scale >= 1, "sweep scale divisor must be >= 1, got ",
+                 opts.scale);
+    if (opts.sweep_jobs == 0)
+        opts.sweep_jobs = defaultJobs();
+    pool = std::make_unique<ThreadPool>(opts.sweep_jobs);
+    if (!opts.cache_dir.empty())
+        disk = std::make_unique<ResultCache>(opts.cache_dir,
+                                             opts.cache_version);
+}
+
+SweepRunner::~SweepRunner() = default;
+
+const SweepRunner::TraceEntry &
+SweepRunner::traceEntry(const std::string &bench)
+{
+    {
+        LockGuard lk(m);
+        auto it = traces.find(bench);
+        if (it != traces.end())
+            return it->second;
+    }
+    // Generate outside the lock: traces are deterministic in (bench,
+    // scale), so a concurrent duplicate generation produces an identical
+    // entry and emplace keeps whichever landed first.
+    TraceEntry entry;
+    entry.trace = generateBenchmark(bench, opts.scale);
+    entry.fp = traceFingerprint(entry.trace);
+    LockGuard lk(m);
+    return traces.emplace(bench, std::move(entry)).first->second;
+}
+
+const FrameTrace &
+SweepRunner::trace(const std::string &bench)
+{
+    return traceEntry(bench).trace;
+}
+
+std::uint64_t
+SweepRunner::traceFp(const std::string &bench)
+{
+    return traceEntry(bench).fp;
+}
+
+const FrameResult &
+SweepRunner::run(const Scenario &s)
+{
+    std::uint64_t key = scenarioFingerprint(s.scheme, traceFp(s.bench),
+                                            s.cfg, opts.cache_version);
+    return runKeyed(s, key);
+}
+
+const FrameResult &
+SweepRunner::runKeyed(const Scenario &s, std::uint64_t key)
+{
+    {
+        LockGuard lk(m);
+        auto it = results.find(key);
+        if (it != results.end()) {
+            counters.memo_hits += 1;
+            return it->second;
+        }
+    }
+
+    if (disk && opts.cache_read) {
+        FrameResult loaded;
+        CacheLoad outcome = disk->load(key, loaded);
+        if (outcome == CacheLoad::Hit) {
+            LockGuard lk(m);
+            auto [it, inserted] = results.emplace(key, std::move(loaded));
+            if (inserted)
+                counters.disk_hits += 1;
+            else
+                counters.memo_hits += 1;
+            return it->second;
+        }
+        if (outcome == CacheLoad::Rejected) {
+            LockGuard lk(m);
+            counters.disk_rejected += 1;
+        }
+    }
+
+    FrameResult computed;
+    {
+        // The scenario owns a complete private simulation; inside an
+        // outer-parallel sweep this clears the in-parallel flag and forces
+        // the simulation's inner rendering serial (see thread_pool.hh).
+        ScenarioRegion region;
+        computed = runScheme(s.scheme, s.cfg, trace(s.bench));
+    }
+
+    bool inserted;
+    const FrameResult *res;
+    {
+        LockGuard lk(m);
+        auto [it, ins] = results.emplace(key, std::move(computed));
+        inserted = ins;
+        res = &it->second;
+        counters.computed += 1;
+    }
+    // Only the inserting thread persists, so no two in-process writers
+    // ever race on one entry; cross-process writers are isolated by the
+    // per-pid temp file + atomic rename in ResultCache::store().
+    if (inserted && disk && disk->store(key, *res)) {
+        LockGuard lk(m);
+        counters.stored += 1;
+    }
+    return *res;
+}
+
+void
+SweepRunner::prefetch(const std::vector<Scenario> &grid)
+{
+    // Stage 1: generate each distinct trace exactly once, in parallel.
+    std::vector<std::string> benches;
+    {
+        std::set<std::string> seen;
+        LockGuard lk(m);
+        for (const Scenario &s : grid)
+            if (traces.find(s.bench) == traces.end() &&
+                seen.insert(s.bench).second)
+                benches.push_back(s.bench);
+    }
+    pool->parallelFor(benches.size(), 1,
+                      [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                              ScenarioRegion region;
+                              traceEntry(benches[i]);
+                          }
+                      });
+
+    // Stage 2: resolve keys and deduplicate (identical cells appear in
+    // several figures' grids); first occurrence wins, so exactly one task
+    // per distinct scenario reaches the pool.
+    std::vector<const Scenario *> todo;
+    std::vector<std::uint64_t> keys;
+    std::set<std::uint64_t> seen_keys;
+    for (const Scenario &s : grid) {
+        std::uint64_t key = scenarioFingerprint(
+            s.scheme, traceFp(s.bench), s.cfg, opts.cache_version);
+        if (seen_keys.insert(key).second) {
+            todo.push_back(&s);
+            keys.push_back(key);
+        }
+    }
+
+    // Stage 3: execute scenario-granular tasks concurrently.
+    pool->parallelFor(todo.size(), 1,
+                      [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i)
+                              runKeyed(*todo[i], keys[i]);
+                      });
+}
+
+SweepStats
+SweepRunner::stats() const
+{
+    LockGuard lk(m);
+    return counters;
+}
+
+} // namespace chopin

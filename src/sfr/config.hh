@@ -84,6 +84,17 @@ struct SystemConfig
     /** Overlap rendering with later batches' projection/distribution (the
      *  paper's runahead optimization). */
     bool gpupd_runahead = true;
+
+    /**
+     * Canonical fingerprint over *every* field that can influence a
+     * simulation, including the nested TimingParams and LinkParams. This is
+     * the only sanctioned config cache key (bench harnesses and the sweep
+     * engine's result cache both use it); a unit test perturbs each public
+     * field and asserts the fingerprint moves, so adding a field without
+     * extending the implementation fails the suite instead of causing
+     * silent stale-hit aliasing.
+     */
+    std::uint64_t fingerprint() const;
 };
 
 /** Where a frame's cycles went (Fig. 14's stacked categories). */

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/fingerprint.hh"
 #include "util/log.hh"
 
 namespace chopin
@@ -87,6 +88,48 @@ saveTrace(const FrameTrace &trace, const std::string &path)
                                               sizeof(Triangle)));
     }
     return static_cast<bool>(os);
+}
+
+std::uint64_t
+traceFingerprint(const FrameTrace &trace)
+{
+    Fingerprinter fp;
+    fp.str("FrameTrace/v1");
+    fp.str(trace.name).str(trace.full_name);
+    fp.i64(trace.viewport.width).i64(trace.viewport.height);
+    // Mat4/Color/Triangle are tightly packed float aggregates (the binary
+    // trace format round-trips them as raw bytes), so bytes() is canonical.
+    fp.bytes(&trace.view_proj.m, sizeof(trace.view_proj.m));
+    fp.f32(trace.clear_color.r)
+        .f32(trace.clear_color.g)
+        .f32(trace.clear_color.b)
+        .f32(trace.clear_color.a)
+        .f32(trace.clear_depth);
+    fp.u64(trace.num_render_targets).u64(trace.num_depth_buffers);
+    fp.u64(trace.draws.size());
+    for (const DrawCommand &d : trace.draws) {
+        fp.u64(d.id);
+        // RasterState is mixed field by field: it mixes byte-sized and
+        // word-sized members, so raw bytes would hash padding.
+        const RasterState &s = d.state;
+        fp.u64(s.render_target)
+            .u64(s.depth_buffer)
+            .boolean(s.depth_test)
+            .boolean(s.depth_write)
+            .u64(static_cast<std::uint64_t>(s.depth_func))
+            .u64(static_cast<std::uint64_t>(s.blend_op))
+            .boolean(s.shader_discard)
+            .boolean(s.stencil_test)
+            .u64(static_cast<std::uint64_t>(s.stencil_func))
+            .u64(s.stencil_ref)
+            .u64(static_cast<std::uint64_t>(s.stencil_pass_op));
+        fp.bytes(&d.model.m, sizeof(d.model.m));
+        fp.f32(d.alpha_ref).boolean(d.backface_cull).i64(d.texture_rt);
+        fp.u64(d.triangles.size());
+        fp.bytes(d.triangles.data(),
+                 d.triangles.size() * sizeof(Triangle));
+    }
+    return fp.value();
 }
 
 bool

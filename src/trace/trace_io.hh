@@ -27,6 +27,16 @@ bool saveTrace(const FrameTrace &trace, const std::string &path);
  */
 bool loadTrace(FrameTrace &trace, const std::string &path);
 
+/**
+ * Canonical content fingerprint of a trace: covers every field the
+ * simulator consumes (viewport, matrices, clear state, and each draw's
+ * state, transform and triangle data, in order). Two traces fingerprint
+ * equal iff a scheme run on them is guaranteed to produce identical
+ * results. Used by the sweep engine's result cache (core/sweep.hh) as the
+ * trace half of the cache key.
+ */
+std::uint64_t traceFingerprint(const FrameTrace &trace);
+
 } // namespace chopin
 
 #endif // CHOPIN_TRACE_TRACE_IO_HH

@@ -21,12 +21,36 @@ namespace
  *  parallelFor calls detect this and degrade to the inline serial path. */
 thread_local bool tl_in_parallel = false;
 
+/** True while the current thread runs a ScenarioRegion that was entered
+ *  from inside a parallel region: every parallelFor on any pool degrades
+ *  to the inline serial path (outer scenario parallelism => inner serial
+ *  rendering; see ScenarioRegion in the header). */
+thread_local bool tl_inline_only = false;
+
 } // namespace
 
 bool
 inParallelRegion()
 {
     return tl_in_parallel;
+}
+
+ScenarioRegion::ScenarioRegion()
+    : saved_in_parallel(tl_in_parallel), saved_inline_only(tl_inline_only)
+{
+    if (saved_in_parallel) {
+        // This pool task is one whole, thread-confined simulation: the
+        // scenario thread is the coordinator of its private timing-model
+        // objects, so sequential ownership holds with the flag cleared.
+        tl_in_parallel = false;
+        tl_inline_only = true;
+    }
+}
+
+ScenarioRegion::~ScenarioRegion()
+{
+    tl_in_parallel = saved_in_parallel;
+    tl_inline_only = saved_inline_only;
 }
 
 struct ThreadPool::Impl
@@ -159,7 +183,7 @@ ThreadPool::parallelFor(std::size_t n, std::size_t grain, const RangeFn &fn)
     std::size_t eff_grain = std::max(grain, min_grain);
     std::size_t chunks = (n + eff_grain - 1) / eff_grain;
 
-    if (impl == nullptr || chunks < 2 || tl_in_parallel) {
+    if (impl == nullptr || chunks < 2 || tl_in_parallel || tl_inline_only) {
         // Serial path: inline, in index order. Bit-identical to the
         // parallel path by the engine's slot-writing discipline; also the
         // nested-call fallback (a worker must never block on its own pool).

@@ -109,6 +109,46 @@ unsigned defaultJobs();
  */
 bool inParallelRegion();
 
+/**
+ * RAII marker for *scenario* parallelism (the sweep engine's outer level;
+ * see core/sweep.hh and DESIGN.md §9).
+ *
+ * A scenario task runs one complete, independent simulation — it constructs
+ * its own EventQueue, Interconnect and surfaces, and no other thread ever
+ * touches them. That satisfies the sequential-ownership contract
+ * (util/sequential.hh) *per scenario*, but the thread-local
+ * inParallelRegion() flag cannot see the difference between "functional
+ * pixel work inside a simulation" and "a whole simulation running as a pool
+ * task", so without help every coordinator-owned object would trip its
+ * assertSequential() check.
+ *
+ * Entering a ScenarioRegion from inside a parallelFor chunk therefore
+ *  1. clears the in-parallel flag for the region's lifetime — the scenario
+ *     thread *is* the coordinator thread of its private simulation; and
+ *  2. forces every nested parallelFor (any pool, including the global
+ *     renderer pool) to run inline — the outer-scenarios x inner-renderer
+ *     split is "outer parallel => inner serial", which avoids
+ *     oversubscription and cross-scenario contention on the global pool
+ *     while keeping results bit-identical by the engine's determinism
+ *     contract.
+ *
+ * Entered on the coordinator thread itself (sweep-jobs=1), it is a no-op:
+ * inner renderer parallelism flows through the global pool as usual.
+ */
+class ScenarioRegion
+{
+  public:
+    ScenarioRegion();
+    ~ScenarioRegion();
+
+    ScenarioRegion(const ScenarioRegion &) = delete;
+    ScenarioRegion &operator=(const ScenarioRegion &) = delete;
+
+  private:
+    bool saved_in_parallel;
+    bool saved_inline_only;
+};
+
 } // namespace chopin
 
 #endif // CHOPIN_UTIL_THREAD_POOL_HH

@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
-"""Pretty-print and validate BENCH_frame.json from bench/perf_frame.
+"""Pretty-print and validate bench JSON dumps (perf_frame, sweep_all).
 
-Reads the JSON summary the wall-clock harness writes, prints a compact
+Reads the JSON summary a wall-clock harness writes, prints a compact
 per-(benchmark, scheme) report and the geometric-mean speedup, and can gate
 CI:
 
   python3 tools/bench_json.py BENCH_frame.json
-  python3 tools/bench_json.py BENCH_frame.json --min-speedup 3.0
+  python3 tools/bench_json.py BENCH_sweep.json --min-speedup 3.0
   python3 tools/bench_json.py new.json --compare old.json
+
+Both producers share the contract: top-level `results` / `gmean_speedup` /
+`jobs_parallel`, per-result `bench, scheme, tris, ns_frame_serial,
+ns_frame_parallel, mtris_per_s, speedup, frame_hash, cycles`. sweep_all
+additionally emits a `cache` block (hit rates and per-phase counters),
+which is reported when present.
 
 --min-speedup fails (exit 1) when the geometric-mean --jobs=N over --jobs=1
 speedup is below the bound (only meaningful on multi-core machines; the
@@ -33,13 +39,14 @@ def load(path: str) -> dict:
         data = json.load(f)
     for key in ("results", "gmean_speedup", "jobs_parallel"):
         if key not in data:
-            sys.exit(f"{path}: missing key '{key}' (not a perf_frame dump?)")
+            sys.exit(f"{path}: missing key '{key}' (not a bench dump?)")
     return data
 
 
 def report(data: dict) -> None:
     jobs = data["jobs_parallel"]
-    print(f"# perf_frame: scale={data.get('scale', '?')} "
+    tool = "sweep_all" if "cache" in data else "perf_frame"
+    print(f"# {tool}: scale={data.get('scale', '?')} "
           f"gpus={data.get('gpus', '?')} jobs={jobs} "
           f"repeat={data.get('repeat', '?')}")
     header = (f"{'benchmark':<10} {'scheme':<18} {'ktris':>8} "
@@ -55,6 +62,18 @@ def report(data: dict) -> None:
               f"{r['mtris_per_s']:>9.2f} "
               f"{r['speedup']:>7.2f}x")
     print(f"\ngeometric-mean speedup: {data['gmean_speedup']:.2f}x")
+    cache = data.get("cache")
+    if cache:
+        print(f"result cache: dir={cache.get('dir', '?')} "
+              f"warm hit rate {cache.get('warm_hit_rate', 0.0) * 100:.1f}%")
+        for phase in ("cold", "warm"):
+            s = cache.get(phase)
+            if s:
+                print(f"  {phase}: computed={s.get('computed', 0)} "
+                      f"memo={s.get('memo_hits', 0)} "
+                      f"disk={s.get('disk_hits', 0)} "
+                      f"rejected={s.get('disk_rejected', 0)} "
+                      f"stored={s.get('stored', 0)}")
 
 
 def compare(data: dict, baseline: dict) -> int:

@@ -39,6 +39,13 @@ remediation recipe of each finding):
                 chopin::Mutex/LockGuard wrappers (thread_annotations.hh)
                 or attach CHOPIN_GUARDED_BY so clang's thread-safety
                 analysis can see the capability.
+  bench-runscheme
+                No direct runScheme() calls in bench/ outside the harness
+                / sweep layer (bench/common.*) — benchmark harnesses route
+                simulations through bench::Harness::run()/prefetch() so
+                every result is fingerprint-memoized and shareable through
+                the on-disk result cache. perf_frame's intentional direct
+                timing calls carry explicit suppressions.
 
 Suppressions: append `// chopin-lint: allow(<rule>[, <rule>...])` to the
 offending line with a comment justifying it (the legacy spelling
@@ -63,7 +70,11 @@ import re
 import sys
 from typing import Callable, Optional
 
-SRC_EXTENSIONS = {".cc", ".hh"}
+SRC_EXTENSIONS = {".cc", ".hh", ".cpp"}
+
+# Directories scanned relative to the repo root. Rules scope themselves by
+# relative path, so src/-only rules never fire on bench/ files.
+SCAN_DIRS = ("src", "bench")
 
 # --- suppression ----------------------------------------------------------
 
@@ -143,6 +154,11 @@ def outside_util(rel: str) -> bool:
     return in_src(rel) and not rel.startswith("src/util/")
 
 
+def in_bench_outside_harness(rel: str) -> bool:
+    """bench/ harness sources, excluding the Harness/sweep layer itself."""
+    return rel.startswith("bench/") and not rel.startswith("bench/common.")
+
+
 RNG_RE = re.compile(
     r"(?<![\w:])(?:std::)?(?:rand|srand|drand48|random_device)\s*\(|"
     r"std::random_device\b")
@@ -164,6 +180,7 @@ GLOBAL_STATE_RE = re.compile(r"^\s*(?:static|thread_local)\s")
 NAKED_SYNC_RE = re.compile(
     r"\bstd::(?:mutex|recursive_mutex|shared_mutex|timed_mutex|"
     r"condition_variable(?:_any)?|atomic)\b")
+RUNSCHEME_RE = re.compile(r"\brunScheme\s*\(")
 
 
 def check_rng(code: str) -> Optional[str]:
@@ -234,6 +251,15 @@ def check_global_state(code: str) -> Optional[str]:
             "argument")
 
 
+def check_bench_runscheme(code: str) -> Optional[str]:
+    if RUNSCHEME_RE.search(code):
+        return ("direct runScheme() call in a bench harness; route it "
+                "through bench::Harness::run()/prefetch() (the sweep "
+                "engine) so the result is fingerprint-memoized and shared "
+                "via the on-disk result cache")
+    return None
+
+
 def check_naked_sync(code: str) -> Optional[str]:
     if NAKED_SYNC_RE.search(code) and "CHOPIN_GUARDED_BY" not in code and \
             "CHOPIN_PT_GUARDED_BY" not in code:
@@ -298,6 +324,15 @@ RULES = [
          "-Werror=thread-safety verifies every access path",
          outside_util,
          check_naked_sync),
+    Rule("bench-runscheme",
+         "bench harnesses run simulations through Harness::run()",
+         "replace runScheme(scheme, cfg, trace) with "
+         "h.run(scheme, bench, cfg) (or h.prefetch(grid) up front); if the "
+         "direct call is intentional (e.g. wall-clock measurement of the "
+         "computation itself), append "
+         "`// chopin-lint: allow(bench-runscheme)` with a justification",
+         in_bench_outside_harness,
+         check_bench_runscheme),
 ]
 
 
@@ -323,18 +358,21 @@ def lint_file(path: pathlib.Path, rel: str) -> list[dict]:
 
 def run_lint(root: pathlib.Path, json_out: str | None,
              fix_hints: bool) -> int:
-    src = root / "src"
-    if not src.is_dir():
+    if not (root / "src").is_dir():
         print(f"lint_check.py: no src/ under {root}", file=sys.stderr)
         return 2
 
     violations: list[dict] = []
     files = 0
-    for path in sorted(src.rglob("*")):
-        if path.suffix not in SRC_EXTENSIONS:
+    for top in SCAN_DIRS:
+        directory = root / top
+        if not directory.is_dir():
             continue
-        files += 1
-        violations += lint_file(path, path.relative_to(root).as_posix())
+        for path in sorted(directory.rglob("*")):
+            if path.suffix not in SRC_EXTENSIONS:
+                continue
+            files += 1
+            violations += lint_file(path, path.relative_to(root).as_posix())
 
     hint_by_rule = {r.name: r.fix_hint for r in RULES}
     for v in violations:
@@ -402,6 +440,14 @@ SELFTEST_CASES = [
      "std::atomic<int> hits CHOPIN_GUARDED_BY(m);", False),  # annotated
     ("naked-sync", "src/util/thread_pool.cc",
      "std::condition_variable cv;", False),  # util/ exempt
+    ("bench-runscheme", "bench/fig13_performance.cpp",
+     "FrameResult r = runScheme(s, cfg, tr);", True),
+    ("bench-runscheme", "bench/perf_frame.cpp",
+     "serial = runScheme( // chopin-lint: allow(bench-runscheme)", False),
+    ("bench-runscheme", "bench/common.cc",
+     "return runScheme(s.scheme, s.cfg, trace);", False),  # harness layer
+    ("bench-runscheme", "src/core/sweep.cc",
+     "FrameResult r = runScheme(s.scheme, s.cfg, tr);", False),  # not bench/
     # Legacy suppression spelling still honored.
     ("rng", "src/gfx/raster.cc",
      "int x = rand(); // lint:allow(rng)", False),
