@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 
+#include "stats/tracer.hh"
 #include "util/check.hh"
 #include "util/log.hh"
 
@@ -48,6 +50,10 @@ Harness::Harness(std::string description, int default_scale)
     cli.addFlag("cache", cache_env == nullptr ? "" : cache_env,
                 "on-disk result cache directory shared across harnesses "
                 "(default: CHOPIN_RESULT_CACHE env; empty = disabled)");
+    cli.addFlag("trace-out", "",
+                "write a Chrome trace-event JSON timeline of one sample "
+                "scenario (open in Perfetto or chrome://tracing; "
+                "empty = off)");
 }
 
 Harness::~Harness() = default;
@@ -79,6 +85,11 @@ Harness::parse(int argc, char **argv)
     long sweep_jobs = cli.getInt("sweep-jobs");
     CHOPIN_CHECK(sweep_jobs >= 0 && sweep_jobs <= 1024,
                  "--sweep-jobs must be in [0, 1024], got ", sweep_jobs);
+
+    // Output paths fail fast, before any simulation runs.
+    std::string trace_out = cli.getString("trace-out");
+    if (!trace_out.empty())
+        checkWritablePath(trace_out, "--trace-out");
 
     std::string bench = cli.getString("bench");
     if (bench == "all") {
@@ -151,6 +162,28 @@ Harness::emit(const TextTable &table) const
         table.printCsv(std::cout);
     }
     std::cout << "\n";
+}
+
+void
+Harness::writeTraceSample(Scheme scheme, const SystemConfig &cfg)
+{
+    std::string path = cli.getString("trace-out");
+    if (path.empty())
+        return;
+    CHOPIN_CHECK(!benches.empty(), "--trace-out needs a benchmark");
+    Tracer tracer;
+    // Direct runScheme on purpose: a sweep-engine hit would return a
+    // cached FrameResult with no spans recorded.
+    FrameResult r = runScheme( // chopin-lint: allow(bench-runscheme)
+        scheme, cfg, trace(benches.front()), &tracer);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    CHOPIN_CHECK(os.good(), "cannot write '", path, "'");
+    tracer.exportChromeJson(os);
+    os.flush();
+    CHOPIN_CHECK(os.good(), "error while writing '", path, "'");
+    std::cout << "# wrote " << path << " (" << tracer.spanCount()
+              << " spans, " << toString(scheme) << " on "
+              << benches.front() << ", " << r.num_gpus << " GPUs)\n";
 }
 
 double

@@ -15,6 +15,9 @@
  *                  parallel)
  *   --cache=DIR    on-disk content-addressed result cache (default: the
  *                  CHOPIN_RESULT_CACHE environment variable; empty = off)
+ *   --trace-out=F  write a Chrome trace-event JSON timeline of one sample
+ *                  scenario (harnesses that support it call
+ *                  writeTraceSample(); the path is validated up front)
  *
  * Harness::run() is backed by the sweep engine (core/sweep.hh): results
  * are memoized under the exhaustive scenario fingerprint — never a
@@ -92,6 +95,15 @@ class Harness
 
     /** Print the table, then its CSV block if --csv. */
     void emit(const TextTable &table) const;
+
+    /**
+     * If --trace-out was given, simulate @p scheme on the first selected
+     * benchmark under @p cfg with the timeline tracer attached and write
+     * the Chrome trace-event JSON. The traced run deliberately bypasses
+     * the sweep engine: cached results carry no spans, and the recorder
+     * must observe a live simulation. No-op when the flag is empty.
+     */
+    void writeTraceSample(Scheme scheme, const SystemConfig &cfg);
 
   private:
     CommandLine cli;

@@ -23,10 +23,13 @@
 #include <fstream>
 #include <limits>
 
+#include "stats/metrics.hh"
+#include "stats/report.hh"
+
 namespace
 {
 
-using chopin::DrawStats;
+using chopin::FrameAccounting;
 using chopin::FrameResult;
 
 /** Wall-clock nanoseconds of one invocation of @p fn (steady clock). */
@@ -42,38 +45,21 @@ elapsedNs(Fn &&fn)
             .count());
 }
 
-/** Assert that two runs of one configuration are simulation-identical. */
+/** Assert that two runs of one configuration are simulation-identical:
+ *  every registered metric, not a hand-picked subset. */
 void
 checkIdentical(const FrameResult &serial, const FrameResult &parallel,
                const std::string &what)
 {
-    chopin_assert(serial.frame_hash == parallel.frame_hash,
-                  what, ": frame hash differs between --jobs=1 and --jobs=N");
-    chopin_assert(serial.content_hash == parallel.content_hash,
-                  what, ": surface content hash differs across job counts");
-    chopin_assert(serial.cycles == parallel.cycles,
-                  what, ": simulated cycle count differs across job counts");
-    const DrawStats &a = serial.totals;
-    const DrawStats &b = parallel.totals;
-    chopin_assert(a.verts_shaded == b.verts_shaded &&
-                      a.tris_in == b.tris_in &&
-                      a.tris_clipped == b.tris_clipped &&
-                      a.tris_culled == b.tris_culled &&
-                      a.tris_rasterized == b.tris_rasterized &&
-                      a.tris_coarse_rejected == b.tris_coarse_rejected &&
-                      a.frags_generated == b.frags_generated &&
-                      a.frags_early_pass == b.frags_early_pass &&
-                      a.frags_early_fail == b.frags_early_fail &&
-                      a.frags_late_pass == b.frags_late_pass &&
-                      a.frags_late_fail == b.frags_late_fail &&
-                      a.frags_shaded == b.frags_shaded &&
-                      a.frags_textured == b.frags_textured &&
-                      a.frags_written == b.frags_written,
-                  what, ": functional totals differ across job counts");
-    chopin_assert(serial.geom_busy == parallel.geom_busy &&
-                      serial.raster_busy == parallel.raster_busy &&
-                      serial.frag_busy == parallel.frag_busy,
-                  what, ": stage busy cycles differ across job counts");
+    const FrameAccounting &a = serial;
+    const FrameAccounting &b = parallel;
+    if (chopin::metricsEqual(a, b))
+        return;
+    std::string names;
+    for (const std::string &n : chopin::metricsDiff(a, b))
+        names += (names.empty() ? "" : ", ") + n;
+    chopin_assert(false, what, ": metrics differ between --jobs=1 and "
+                  "--jobs=N: ", names);
 }
 
 struct Measurement
@@ -114,6 +100,8 @@ main(int argc, char **argv)
     unsigned jobs_parallel = globalJobs();
     int repeat = std::max(1, static_cast<int>(h.flags().getInt("repeat")));
     std::string out_path = h.flags().getString("out");
+    if (!out_path.empty())
+        checkWritablePath(out_path, "--out");
 
     const Scheme schemes[] = {Scheme::SingleGpu, Scheme::Duplication,
                               Scheme::Gpupd, Scheme::Chopin,
@@ -192,29 +180,36 @@ main(int argc, char **argv)
     if (!out_path.empty()) {
         std::ofstream out(out_path);
         chopin_assert(out.good(), "cannot write ", out_path);
-        out << "{\n";
-        out << "  \"scale\": " << h.scale() << ",\n";
-        out << "  \"gpus\": " << h.gpus() << ",\n";
-        out << "  \"jobs_parallel\": " << jobs_parallel << ",\n";
-        out << "  \"repeat\": " << repeat << ",\n";
-        out << "  \"gmean_speedup\": " << gmean_speedup << ",\n";
-        out << "  \"results\": [\n";
-        for (std::size_t i = 0; i < measurements.size(); ++i) {
-            const Measurement &m = measurements[i];
-            out << "    {\"bench\": \"" << m.bench << "\", \"scheme\": \""
-                << m.scheme << "\", \"tris\": " << m.tris
-                << ", \"ns_frame_serial\": " << m.ns_serial
-                << ", \"ns_frame_parallel\": " << m.ns_parallel
-                << ", \"mtris_per_s\": "
-                << mtrisPerSecond(m.tris, m.ns_parallel)
-                << ", \"speedup\": " << m.speedup
-                << ", \"frame_hash\": " << m.frame_hash
-                << ", \"cycles\": " << m.cycles << "}"
-                << (i + 1 < measurements.size() ? "," : "") << "\n";
+        JsonWriter w(out);
+        w.beginObject();
+        w.field("scale", h.scale());
+        w.field("gpus", h.gpus());
+        w.field("jobs_parallel", jobs_parallel);
+        w.field("repeat", repeat);
+        w.field("gmean_speedup", gmean_speedup);
+        w.key("results");
+        w.beginArray();
+        for (const Measurement &m : measurements) {
+            w.beginObject();
+            w.field("bench", m.bench);
+            w.field("scheme", m.scheme);
+            w.field("tris", m.tris);
+            w.field("ns_frame_serial", m.ns_serial);
+            w.field("ns_frame_parallel", m.ns_parallel);
+            w.field("mtris_per_s", mtrisPerSecond(m.tris, m.ns_parallel));
+            w.field("speedup", m.speedup);
+            w.field("frame_hash", m.frame_hash);
+            w.field("cycles", m.cycles);
+            w.endObject();
         }
-        out << "  ]\n";
-        out << "}\n";
+        w.endArray();
+        w.endObject();
+        w.finish();
         std::cout << "wrote " << out_path << "\n";
     }
+
+    SystemConfig trace_cfg;
+    trace_cfg.num_gpus = h.gpus();
+    h.writeTraceSample(Scheme::ChopinCompSched, trace_cfg);
     return 0;
 }

@@ -34,6 +34,9 @@
 #include <cstring>
 #include <fstream>
 
+#include "stats/metrics.hh"
+#include "stats/report.hh"
+
 namespace
 {
 
@@ -241,56 +244,29 @@ elapsedNs(const Fn &fn)
             .count());
 }
 
-/** Assert two results of one scenario are bit-identical, field by field. */
+/** Assert two results of one scenario are bit-identical: every registered
+ *  metric (via the registry), plus scheme, draw timings and the image. */
 void
 checkIdentical(const FrameResult &a, const FrameResult &b,
                const std::string &what)
 {
-    chopin_assert(a.frame_hash == b.frame_hash,
-                  what, ": frame hash differs between cold and warm runs");
-    chopin_assert(a.content_hash == b.content_hash,
-                  what, ": surface content hash differs");
-    chopin_assert(a.cycles == b.cycles, what, ": cycle count differs");
-    chopin_assert(a.scheme == b.scheme && a.num_gpus == b.num_gpus,
-                  what, ": scheme/GPU count differs");
-    chopin_assert(a.breakdown.normal_pipeline == b.breakdown.normal_pipeline &&
-                      a.breakdown.prim_projection ==
-                          b.breakdown.prim_projection &&
-                      a.breakdown.prim_distribution ==
-                          b.breakdown.prim_distribution &&
-                      a.breakdown.composition == b.breakdown.composition &&
-                      a.breakdown.sync == b.breakdown.sync,
-                  what, ": cycle breakdown differs");
-    chopin_assert(std::memcmp(&a.totals, &b.totals, sizeof(a.totals)) == 0,
-                  what, ": functional totals differ");
-    chopin_assert(a.traffic.total == b.traffic.total &&
-                      a.traffic.messages == b.traffic.messages &&
-                      std::memcmp(a.traffic.by_class, b.traffic.by_class,
-                                  sizeof(a.traffic.by_class)) == 0,
-                  what, ": traffic stats differ");
-    chopin_assert(a.geom_busy == b.geom_busy &&
-                      a.raster_busy == b.raster_busy &&
-                      a.frag_busy == b.frag_busy,
-                  what, ": stage busy cycles differ");
-    chopin_assert(a.groups_total == b.groups_total &&
-                      a.groups_distributed == b.groups_distributed &&
-                      a.tris_distributed == b.tris_distributed &&
-                      a.retained_culled == b.retained_culled &&
-                      a.sched_status_bytes == b.sched_status_bytes,
-                  what, ": group/scheduler statistics differ");
+    chopin_assert(a.scheme == b.scheme, what, ": scheme differs");
+    if (!metricsEqual(static_cast<const FrameAccounting &>(a),
+                      static_cast<const FrameAccounting &>(b))) {
+        std::string names;
+        for (const std::string &n :
+             metricsDiff(static_cast<const FrameAccounting &>(a),
+                         static_cast<const FrameAccounting &>(b)))
+            names += (names.empty() ? "" : ", ") + n;
+        chopin_assert(false, what,
+                      ": metrics differ between cold and warm runs: ",
+                      names);
+    }
     chopin_assert(a.draw_timings.size() == b.draw_timings.size(),
                   what, ": draw-timing record count differs");
-    for (std::size_t i = 0; i < a.draw_timings.size(); ++i) {
-        const DrawTiming &x = a.draw_timings[i];
-        const DrawTiming &y = b.draw_timings[i];
-        chopin_assert(x.id == y.id && x.tris == y.tris &&
-                          x.issue == y.issue && x.geom_done == y.geom_done &&
-                          x.done == y.done &&
-                          x.geom_cycles == y.geom_cycles &&
-                          x.raster_cycles == y.raster_cycles &&
-                          x.frag_cycles == y.frag_cycles,
+    for (std::size_t i = 0; i < a.draw_timings.size(); ++i)
+        chopin_assert(metricsEqual(a.draw_timings[i], b.draw_timings[i]),
                       what, ": draw timing record ", i, " differs");
-    }
     chopin_assert(a.image.width() == b.image.width() &&
                       a.image.height() == b.image.height(),
                   what, ": image dimensions differ");
@@ -314,13 +290,16 @@ struct FigureTimes
 };
 
 void
-emitStats(std::ostream &os, const char *label, const SweepStats &s)
+emitStats(JsonWriter &w, const char *label, const SweepStats &s)
 {
-    os << "    \"" << label << "\": {\"computed\": " << s.computed
-       << ", \"memo_hits\": " << s.memo_hits
-       << ", \"disk_hits\": " << s.disk_hits
-       << ", \"disk_rejected\": " << s.disk_rejected
-       << ", \"stored\": " << s.stored << "}";
+    w.key(label);
+    w.beginObject();
+    w.field("computed", s.computed);
+    w.field("memo_hits", s.memo_hits);
+    w.field("disk_hits", s.disk_hits);
+    w.field("disk_rejected", s.disk_rejected);
+    w.field("stored", s.stored);
+    w.endObject();
 }
 
 } // namespace
@@ -339,6 +318,8 @@ main(int argc, char **argv)
     if (cache_dir.empty())
         cache_dir = "BENCH_sweep.cache"; // the two phases must share a cache
     std::string out_path = h.flags().getString("out");
+    if (!out_path.empty())
+        checkWritablePath(out_path, "--out");
     unsigned inner_jobs =
         static_cast<unsigned>(h.flags().getInt("jobs"));
     unsigned sweep_jobs =
@@ -451,46 +432,53 @@ main(int argc, char **argv)
     if (!out_path.empty()) {
         std::ofstream out(out_path);
         chopin_assert(out.good(), "cannot write ", out_path);
-        out << "{\n";
-        out << "  \"scale\": " << h.scale() << ",\n";
-        out << "  \"gpus\": " << h.gpus() << ",\n";
-        out << "  \"jobs_parallel\": " << warm.options().sweep_jobs
-            << ",\n";
-        out << "  \"repeat\": 1,\n";
-        out << "  \"total_scenarios\": " << total_scenarios << ",\n";
-        out << "  \"verified\": " << verified << ",\n";
-        out << "  \"cold_serial_ns\": " << cold_total << ",\n";
-        out << "  \"warm_parallel_ns\": " << warm_total << ",\n";
-        out << "  \"gmean_speedup\": " << total_speedup << ",\n";
-        out << "  \"cache\": {\n";
-        out << "    \"dir\": \"" << cache_dir << "\",\n";
-        out << "    \"warm_hit_rate\": " << hit_rate << ",\n";
-        emitStats(out, "cold", cold_stats);
-        out << ",\n";
-        emitStats(out, "warm", warm_stats);
-        out << "\n  },\n";
-        out << "  \"results\": [\n";
-        for (std::size_t i = 0; i < times.size(); ++i) {
-            const FigureTimes &t = times[i];
+        JsonWriter w(out);
+        w.beginObject();
+        w.field("scale", h.scale());
+        w.field("gpus", h.gpus());
+        w.field("jobs_parallel", warm.options().sweep_jobs);
+        w.field("repeat", 1);
+        w.field("total_scenarios", total_scenarios);
+        w.field("verified", verified);
+        w.field("cold_serial_ns", cold_total);
+        w.field("warm_parallel_ns", warm_total);
+        w.field("gmean_speedup", total_speedup);
+        w.key("cache");
+        w.beginObject();
+        w.field("dir", cache_dir);
+        w.field("warm_hit_rate", hit_rate);
+        emitStats(w, "cold", cold_stats);
+        emitStats(w, "warm", warm_stats);
+        w.endObject();
+        w.key("results");
+        w.beginArray();
+        for (const FigureTimes &t : times) {
             double speedup =
                 t.warm_ns > 0.0 ? t.cold_ns / t.warm_ns : 1.0;
             double mtris = t.warm_ns > 0.0
                                ? static_cast<double>(t.tris) * 1000.0 /
                                      t.warm_ns
                                : 0.0;
-            out << "    {\"bench\": \"" << t.name
-                << "\", \"scheme\": \"suite\", \"tris\": " << t.tris
-                << ", \"ns_frame_serial\": " << t.cold_ns
-                << ", \"ns_frame_parallel\": " << t.warm_ns
-                << ", \"mtris_per_s\": " << mtris
-                << ", \"speedup\": " << speedup
-                << ", \"frame_hash\": " << t.hash_mix
-                << ", \"cycles\": " << t.cycles << "}"
-                << (i + 1 < times.size() ? "," : "") << "\n";
+            w.beginObject();
+            w.field("bench", t.name);
+            w.field("scheme", "suite");
+            w.field("tris", t.tris);
+            w.field("ns_frame_serial", t.cold_ns);
+            w.field("ns_frame_parallel", t.warm_ns);
+            w.field("mtris_per_s", mtris);
+            w.field("speedup", speedup);
+            w.field("frame_hash", t.hash_mix);
+            w.field("cycles", t.cycles);
+            w.endObject();
         }
-        out << "  ]\n";
-        out << "}\n";
+        w.endArray();
+        w.endObject();
+        w.finish();
         std::cout << "wrote " << out_path << "\n";
     }
+
+    SystemConfig trace_cfg;
+    trace_cfg.num_gpus = h.gpus();
+    h.writeTraceSample(Scheme::ChopinCompSched, trace_cfg);
     return 0;
 }

@@ -9,11 +9,23 @@
 #include <unistd.h> // getpid(), for unique cache temp-file names
 
 #include "gfx/surface.hh"
+#include "stats/metrics.hh"
 #include "util/check.hh"
 #include "util/fingerprint.hh"
 
 namespace chopin
 {
+
+std::uint32_t
+resultCacheVersion()
+{
+    Fingerprinter fp;
+    fp.str("ResultCache");
+    fp.u64(resultSchemaVersion);
+    fp.u64(metricSchemaFingerprint<FrameAccounting>());
+    fp.u64(metricSchemaFingerprint<DrawTiming>());
+    return static_cast<std::uint32_t>(fp.value());
+}
 
 std::uint64_t
 scenarioFingerprint(Scheme scheme, std::uint64_t trace_fp,
@@ -30,11 +42,15 @@ scenarioFingerprint(Scheme scheme, std::uint64_t trace_fp,
 
 // --- FrameResult (de)serialization ----------------------------------------
 //
-// The on-disk layout is explicit field-by-field little-endian (like
-// trace_io.cc), framed by a magic/version/key header and a trailing
-// sentinel. The image is run-length encoded over bit-identical pixels:
-// rendered frames have large uniform regions (clear color, sky), and the
-// encoding is lossless, so the cached FrameResult round-trips bit-exactly.
+// The accounting payload (FrameAccounting and each DrawTiming) is written
+// through the metric registry (stats/metrics.hh): one 64-bit word per
+// registered metric, in registration order, so the serializer can never
+// drift from the structs — a new field either registers (and ships) or
+// trips the metrics round-trip test. Framing (magic/version/key header,
+// trailing sentinel) stays explicit. The image is run-length encoded over
+// bit-identical pixels: rendered frames have large uniform regions (clear
+// color, sky), and the encoding is lossless, so the cached FrameResult
+// round-trips bit-exactly.
 
 namespace
 {
@@ -88,57 +104,6 @@ put(std::ostream &os, const T &v)
 {
     static_assert(std::is_trivially_copyable_v<T>);
     os.write(reinterpret_cast<const char *>(&v), sizeof(T));
-}
-
-void
-putTraffic(std::ostream &os, const TrafficStats &t)
-{
-    put(os, t.total);
-    for (Bytes b : t.by_class)
-        put(os, b);
-    put(os, t.messages);
-}
-
-bool
-getTraffic(SoftReader &r, TrafficStats &t)
-{
-    if (!r.get(t.total))
-        return false;
-    for (Bytes &b : t.by_class)
-        if (!r.get(b))
-            return false;
-    return r.get(t.messages);
-}
-
-void
-putStats(std::ostream &os, const DrawStats &s)
-{
-    put(os, s.verts_shaded);
-    put(os, s.tris_in);
-    put(os, s.tris_clipped);
-    put(os, s.tris_culled);
-    put(os, s.tris_rasterized);
-    put(os, s.tris_coarse_rejected);
-    put(os, s.frags_generated);
-    put(os, s.frags_early_pass);
-    put(os, s.frags_early_fail);
-    put(os, s.frags_late_pass);
-    put(os, s.frags_late_fail);
-    put(os, s.frags_shaded);
-    put(os, s.frags_textured);
-    put(os, s.frags_written);
-}
-
-bool
-getStats(SoftReader &r, DrawStats &s)
-{
-    return r.get(s.verts_shaded) && r.get(s.tris_in) &&
-           r.get(s.tris_clipped) && r.get(s.tris_culled) &&
-           r.get(s.tris_rasterized) && r.get(s.tris_coarse_rejected) &&
-           r.get(s.frags_generated) && r.get(s.frags_early_pass) &&
-           r.get(s.frags_early_fail) && r.get(s.frags_late_pass) &&
-           r.get(s.frags_late_fail) && r.get(s.frags_shaded) &&
-           r.get(s.frags_textured) && r.get(s.frags_written);
 }
 
 void
@@ -249,36 +214,20 @@ ResultCache::load(std::uint64_t key, FrameResult &out) const
         scheme_raw > static_cast<std::uint32_t>(Scheme::ChopinIdeal))
         return CacheLoad::Rejected;
     res.scheme = static_cast<Scheme>(scheme_raw);
-    if (!r.get(res.num_gpus) || !r.get(res.cycles))
-        return CacheLoad::Rejected;
-    CycleBreakdown &bd = res.breakdown;
-    if (!r.get(bd.normal_pipeline) || !r.get(bd.prim_projection) ||
-        !r.get(bd.prim_distribution) || !r.get(bd.composition) ||
-        !r.get(bd.sync))
-        return CacheLoad::Rejected;
-    if (!getTraffic(r, res.traffic) || !getStats(r, res.totals))
-        return CacheLoad::Rejected;
-    if (!r.get(res.geom_busy) || !r.get(res.raster_busy) ||
-        !r.get(res.frag_busy))
+
+    // The whole accounting block ships through the metric registry: every
+    // registered metric, in registration order, one word each.
+    if (!readMetrics(r, static_cast<FrameAccounting &>(res)))
         return CacheLoad::Rejected;
 
     std::uint64_t n_timings = 0;
     if (!r.get(n_timings) || n_timings > (1ull << 26))
         return CacheLoad::Rejected;
     res.draw_timings.resize(n_timings);
-    for (DrawTiming &t : res.draw_timings) {
-        if (!r.get(t.id) || !r.get(t.tris) || !r.get(t.issue) ||
-            !r.get(t.geom_done) || !r.get(t.done) || !r.get(t.geom_cycles) ||
-            !r.get(t.raster_cycles) || !r.get(t.frag_cycles))
+    for (DrawTiming &t : res.draw_timings)
+        if (!readMetrics(r, t))
             return CacheLoad::Rejected;
-    }
 
-    if (!r.get(res.groups_total) || !r.get(res.groups_distributed) ||
-        !r.get(res.tris_distributed) || !r.get(res.retained_culled) ||
-        !r.get(res.sched_status_bytes))
-        return CacheLoad::Rejected;
-    if (!r.get(res.frame_hash) || !r.get(res.content_hash))
-        return CacheLoad::Rejected;
     if (!getImageRle(r, res.image))
         return CacheLoad::Rejected;
 
@@ -310,36 +259,10 @@ ResultCache::store(std::uint64_t key, const FrameResult &r) const
         put(os, version);
         put(os, key);
         put(os, static_cast<std::uint32_t>(r.scheme));
-        put(os, r.num_gpus);
-        put(os, r.cycles);
-        put(os, r.breakdown.normal_pipeline);
-        put(os, r.breakdown.prim_projection);
-        put(os, r.breakdown.prim_distribution);
-        put(os, r.breakdown.composition);
-        put(os, r.breakdown.sync);
-        putTraffic(os, r.traffic);
-        putStats(os, r.totals);
-        put(os, r.geom_busy);
-        put(os, r.raster_busy);
-        put(os, r.frag_busy);
+        writeMetrics(os, static_cast<const FrameAccounting &>(r));
         put(os, static_cast<std::uint64_t>(r.draw_timings.size()));
-        for (const DrawTiming &t : r.draw_timings) {
-            put(os, t.id);
-            put(os, t.tris);
-            put(os, t.issue);
-            put(os, t.geom_done);
-            put(os, t.done);
-            put(os, t.geom_cycles);
-            put(os, t.raster_cycles);
-            put(os, t.frag_cycles);
-        }
-        put(os, r.groups_total);
-        put(os, r.groups_distributed);
-        put(os, r.tris_distributed);
-        put(os, r.retained_culled);
-        put(os, r.sched_status_bytes);
-        put(os, r.frame_hash);
-        put(os, r.content_hash);
+        for (const DrawTiming &t : r.draw_timings)
+            writeMetrics(os, t);
         putImageRle(os, r.image);
         put(os, resultEndMagic);
         if (!os)

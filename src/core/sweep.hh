@@ -53,11 +53,23 @@ namespace chopin
 
 /**
  * Result-cache schema version: part of every cache key and file header.
- * Bump whenever the FrameResult serialization layout *or* simulation
- * semantics change, so stale entries from older binaries are evicted
- * (rejected on load and overwritten on the next store) instead of aliasing.
+ * Bump whenever the FrameResult serialization *framing* (magic, header,
+ * image encoding) or simulation semantics change, so stale entries from
+ * older binaries are evicted (rejected on load and overwritten on the next
+ * store) instead of aliasing. v2: the accounting payload is the metric
+ * registry's wire format (stats/metrics.hh) instead of hand-listed fields.
  */
-inline constexpr std::uint32_t resultSchemaVersion = 1;
+inline constexpr std::uint32_t resultSchemaVersion = 2;
+
+/**
+ * The cache version binaries actually use (the SweepOptions default):
+ * resultSchemaVersion mixed with the metric-schema fingerprints of the
+ * serialized registries (FrameAccounting and DrawTiming). Adding,
+ * removing, renaming or re-typing any registered metric changes the
+ * fingerprint and therefore evicts stale cache entries automatically,
+ * with no manual version bump to forget.
+ */
+std::uint32_t resultCacheVersion();
 
 /** One cell of a sweep grid: a scheme run on a benchmark under a config. */
 struct Scenario
@@ -80,7 +92,7 @@ struct SweepOptions
     /** False = ignore existing disk entries (cold run) but still store. */
     bool cache_read = true;
     /** Cache schema version; tests override it to exercise eviction. */
-    std::uint32_t cache_version = resultSchemaVersion;
+    std::uint32_t cache_version = resultCacheVersion();
 };
 
 /** Where each result came from (monotone counters; see stats()). */

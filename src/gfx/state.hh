@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "stats/metrics.hh"
 #include "util/types.hh"
 
 namespace chopin
@@ -182,6 +183,28 @@ struct DrawStats
     std::uint64_t frags_written = 0;    ///< blended/written to the target
 
     DrawStats &operator+=(const DrawStats &o);
+
+    /** Metric registry visitation (stats/metrics.hh). */
+    template <typename Self, typename V>
+    static void
+    visitMetrics(Self &self, V &&v)
+    {
+        v.field({"totals.verts_shaded", "count"}, self.verts_shaded);
+        v.field({"totals.tris_in", "count"}, self.tris_in);
+        v.field({"totals.tris_clipped", "count"}, self.tris_clipped);
+        v.field({"totals.tris_culled", "count"}, self.tris_culled);
+        v.field({"totals.tris_rasterized", "count"}, self.tris_rasterized);
+        v.field({"totals.tris_coarse_rejected", "count"},
+                self.tris_coarse_rejected);
+        v.field({"totals.frags_generated", "count"}, self.frags_generated);
+        v.field({"totals.frags_early_pass", "count"}, self.frags_early_pass);
+        v.field({"totals.frags_early_fail", "count"}, self.frags_early_fail);
+        v.field({"totals.frags_late_pass", "count"}, self.frags_late_pass);
+        v.field({"totals.frags_late_fail", "count"}, self.frags_late_fail);
+        v.field({"totals.frags_shaded", "count"}, self.frags_shaded);
+        v.field({"totals.frags_textured", "count"}, self.frags_textured);
+        v.field({"totals.frags_written", "count"}, self.frags_written);
+    }
 };
 
 } // namespace chopin

@@ -1,6 +1,7 @@
 #include "gpu/pipeline.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "util/log.hh"
 
@@ -38,6 +39,9 @@ GpuPipeline::submitDraw(DrawId id, const DrawStats &stats, Tick issue_time)
     Tick prev_geom_done = issue_time;
     Tick draw_done = issue_time;
     std::uint64_t tris_emitted = 0;
+    // First-batch entry times of each stage window (for trace spans).
+    Tick g_start = issue_time, r_start = issue_time, f_start = issue_time;
+    Tick last_r_done = issue_time;
     for (unsigned b = 0; b < batches; ++b) {
         // Even apportioning with exact totals (last batch takes remainder).
         auto share = [&](Tick total) {
@@ -48,10 +52,17 @@ GpuPipeline::submitDraw(DrawId id, const DrawStats &stats, Tick issue_time)
         std::uint64_t batch_tris = tris * (b + 1) / batches - tris_emitted;
         tris_emitted += batch_tris;
 
+        if (b == 0)
+            g_start = std::max(prev_geom_done, geom.freeAt());
         Tick g_done = geom.claim(prev_geom_done, share(g_total));
+        if (b == 0)
+            r_start = std::max(g_done, raster.freeAt());
         Tick r_done = raster.claim(g_done, share(r_total));
+        if (b == 0)
+            f_start = std::max(r_done, frag.freeAt());
         Tick f_done = frag.claim(r_done, share(f_total));
         prev_geom_done = g_done;
+        last_r_done = r_done;
         draw_done = f_done;
 
         geomTrisDone += batch_tris;
@@ -64,14 +75,28 @@ GpuPipeline::submitDraw(DrawId id, const DrawStats &stats, Tick issue_time)
     record.done = draw_done;
     timings.push_back(record);
     lastDone = std::max(lastDone, draw_done);
+
+    if (tracer != nullptr) {
+        // One span per stage, spanning the draw's first-batch entry to its
+        // last-batch completion in that stage (batches of one draw are
+        // contiguous per stage: the stages are FIFO-serialized).
+        std::string label = "draw" + std::to_string(id);
+        tracer->span(geom_track, "gpu", label, g_start, prev_geom_done,
+                     {{"tris", tris}});
+        tracer->span(raster_track, "gpu", label, r_start, last_r_done);
+        tracer->span(frag_track, "gpu", label, f_start, draw_done);
+    }
     return draw_done;
 }
 
 Tick
 GpuPipeline::submitGeometryWork(Tick at, Tick cycles)
 {
+    Tick start = std::max(at, geom.freeAt());
     Tick done = geom.claim(at, cycles);
     lastDone = std::max(lastDone, done);
+    if (tracer != nullptr && done > start)
+        tracer->span(geom_track, "gpu", "geom_work", start, done);
     return done;
 }
 
@@ -86,6 +111,18 @@ GpuPipeline::processedTrisAt(Tick t) const
     if (it == geomProgress.begin())
         return 0;
     return std::prev(it)->second;
+}
+
+void
+GpuPipeline::attachTracer(Tracer *t, unsigned gpu_index)
+{
+    tracer = t;
+    if (t == nullptr)
+        return;
+    std::string prefix = "gpu" + std::to_string(gpu_index) + ".";
+    geom_track = t->track(prefix + "geom");
+    raster_track = t->track(prefix + "raster");
+    frag_track = t->track(prefix + "frag");
 }
 
 void

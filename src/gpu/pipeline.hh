@@ -21,6 +21,8 @@
 
 #include "gpu/timing.hh"
 #include "sim/resource.hh"
+#include "stats/metrics.hh"
+#include "stats/tracer.hh"
 #include "util/types.hh"
 
 namespace chopin
@@ -37,6 +39,21 @@ struct DrawTiming
     Tick geom_cycles = 0;
     Tick raster_cycles = 0;
     Tick frag_cycles = 0;
+
+    /** Metric registry visitation (stats/metrics.hh). */
+    template <typename Self, typename V>
+    static void
+    visitMetrics(Self &self, V &&v)
+    {
+        v.field({"timing.id", "id"}, self.id);
+        v.field({"timing.tris", "count"}, self.tris);
+        v.field({"timing.issue", "tick"}, self.issue);
+        v.field({"timing.geom_done", "tick"}, self.geom_done);
+        v.field({"timing.done", "tick"}, self.done);
+        v.field({"timing.geom_cycles", "cycles"}, self.geom_cycles);
+        v.field({"timing.raster_cycles", "cycles"}, self.raster_cycles);
+        v.field({"timing.frag_cycles", "cycles"}, self.frag_cycles);
+    }
 };
 
 /** One GPU's three-stage pipeline. */
@@ -79,11 +96,23 @@ class GpuPipeline
     /** Forget all state (new frame / new scheme). */
     void reset();
 
+    /**
+     * Attach (or detach, with nullptr) a timeline tracer as GPU
+     * @p gpu_index: every draw then emits one span per pipeline stage on
+     * this GPU's geom/raster/frag tracks.
+     */
+    void attachTracer(Tracer *t, unsigned gpu_index);
+
   private:
     const TimingParams &params;
     Resource geom;
     Resource raster;
     Resource frag;
+
+    Tracer *tracer = nullptr;
+    Tracer::TrackId geom_track = 0;
+    Tracer::TrackId raster_track = 0;
+    Tracer::TrackId frag_track = 0;
     Tick lastDone = 0;
     std::uint64_t trisSubmitted = 0;
     /** (time, cumulative triangles) geometry checkpoints, time-sorted. */

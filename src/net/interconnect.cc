@@ -58,7 +58,32 @@ Interconnect::transfer(GpuId src, GpuId dst, Bytes bytes, Tick earliest,
     inflight.acquire();
     pending_deliveries.push(delivery);
 
+    if (tracer_ != nullptr) {
+        // The gap between `earliest` and `start` is port/link contention —
+        // exactly the egress/ingress head-of-line blocking the composition
+        // scheduler exists to avoid, made visible per message.
+        tracer_->span(egress_tracks[src], "net",
+                      std::string(trafficClassName(cls)) + "->gpu" +
+                          std::to_string(dst),
+                      start, start + duration,
+                      {{"bytes", bytes},
+                       {"requested", earliest},
+                       {"delivery", delivery}});
+    }
     return delivery;
+}
+
+void
+Interconnect::setTracer(Tracer *t)
+{
+    seq.assertHeld("Interconnect::setTracer");
+    tracer_ = t;
+    egress_tracks.clear();
+    if (t == nullptr)
+        return;
+    for (unsigned g = 0; g < gpus; ++g)
+        egress_tracks.push_back(
+            t->track("gpu" + std::to_string(g) + ".egress"));
 }
 
 void

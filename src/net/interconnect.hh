@@ -20,11 +20,14 @@
 #ifndef CHOPIN_NET_INTERCONNECT_HH
 #define CHOPIN_NET_INTERCONNECT_HH
 
+#include <array>
 #include <limits>
 #include <queue>
 #include <vector>
 
 #include "sim/resource.hh"
+#include "stats/metrics.hh"
+#include "stats/tracer.hh"
 #include "util/sequential.hh"
 #include "util/types.hh"
 
@@ -57,17 +60,58 @@ enum class TrafficClass : std::uint8_t
     NumClasses,
 };
 
+/** Short lowercase name of a traffic class (trace spans, reports). */
+constexpr const char *
+trafficClassName(TrafficClass c)
+{
+    switch (c) {
+      case TrafficClass::Composition: return "composition";
+      case TrafficClass::PrimDist:    return "prim_dist";
+      case TrafficClass::Sync:        return "sync";
+      case TrafficClass::Scheduler:   return "scheduler";
+      case TrafficClass::NumClasses:  break;
+    }
+    return "?";
+}
+
 /** Traffic counters, total and per class. */
 struct TrafficStats
 {
     Bytes total = 0;
-    Bytes by_class[static_cast<int>(TrafficClass::NumClasses)] = {};
+    std::array<Bytes, static_cast<int>(TrafficClass::NumClasses)> by_class{};
     std::uint64_t messages = 0;
 
     Bytes
     ofClass(TrafficClass c) const
     {
-        return by_class[static_cast<int>(c)];
+        return by_class[static_cast<std::size_t>(c)];
+    }
+
+    TrafficStats &
+    operator+=(const TrafficStats &o)
+    {
+        total += o.total;
+        for (std::size_t i = 0; i < by_class.size(); ++i)
+            by_class[i] += o.by_class[i];
+        messages += o.messages;
+        return *this;
+    }
+
+    /** Metric registry visitation (stats/metrics.hh). */
+    template <typename Self, typename V>
+    static void
+    visitMetrics(Self &self, V &&v)
+    {
+        v.field({"traffic.total", "bytes"}, self.total);
+        v.field({"traffic.composition", "bytes"},
+                self.by_class[static_cast<int>(TrafficClass::Composition)]);
+        v.field({"traffic.prim_dist", "bytes"},
+                self.by_class[static_cast<int>(TrafficClass::PrimDist)]);
+        v.field({"traffic.sync", "bytes"},
+                self.by_class[static_cast<int>(TrafficClass::Sync)]);
+        v.field({"traffic.scheduler", "bytes"},
+                self.by_class[static_cast<int>(TrafficClass::Scheduler)]);
+        v.field({"traffic.messages", "count"}, self.messages);
     }
 };
 
@@ -160,6 +204,23 @@ class Interconnect
     /** Clear port state and traffic counters (new frame). */
     void reset();
 
+    /**
+     * Attach (or detach, with nullptr) a timeline tracer. Every transfer
+     * then emits a span on its source GPU's egress track, named by traffic
+     * class and destination — egress/ingress head-of-line blocking shows
+     * up directly as spans pushed past their `earliest` time.
+     */
+    void setTracer(Tracer *t);
+
+    /** The attached tracer, or nullptr (shared with the sfr layer so
+     *  composition phases land in the same timeline). */
+    Tracer *
+    tracer() const
+    {
+        seq.assertHeld("Interconnect::tracer");
+        return tracer_;
+    }
+
   private:
     std::size_t
     linkIndex(GpuId src, GpuId dst) const
@@ -175,6 +236,10 @@ class Interconnect
     std::vector<Resource> ingress CHOPIN_GUARDED_BY(seq); ///< one per GPU
     std::vector<Resource> links CHOPIN_GUARDED_BY(seq);   ///< ordered pairs
     TrafficStats stats CHOPIN_GUARDED_BY(seq);
+
+    Tracer *tracer_ CHOPIN_GUARDED_BY(seq) = nullptr;
+    /** One trace track per GPU egress port (valid while tracer_ != null). */
+    std::vector<Tracer::TrackId> egress_tracks CHOPIN_GUARDED_BY(seq);
 
     // Invariant bookkeeping (see checkFlowConservation / checkDrained).
     std::vector<Bytes> link_bytes CHOPIN_GUARDED_BY(seq);

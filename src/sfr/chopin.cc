@@ -214,6 +214,10 @@ struct ChopinRun
                 : composeOpaqueDirectSend(job, ctx.net, ctx.cfg.timing);
         ctx.breakdown.composition +=
             timing.end > max_ready ? timing.end - max_ready : 0;
+        if (ctx.tracer != nullptr && timing.end > max_ready)
+            ctx.tracer->span(ctx.phase_track, "chopin", "compose opaque",
+                             max_ready, timing.end,
+                             {{"pair_pixels", job.pairPixels()}});
         t = std::max(t, timing.end);
 
         // Functional composition: out-of-order per-pixel selection. The
@@ -335,6 +339,10 @@ struct ChopinRun
             composeTransparentTree(job, ctx.net, ctx.cfg.timing);
         ctx.breakdown.composition +=
             timing.end > max_ready ? timing.end - max_ready : 0;
+        if (ctx.tracer != nullptr && timing.end > max_ready)
+            ctx.tracer->span(ctx.phase_track, "chopin",
+                             "compose transparent", max_ready, timing.end,
+                             {{"pair_pixels", job.pairPixels()}});
         t = std::max(t, timing.end);
 
         // Functional merge: fold sub-images front (highest GPU id = latest
@@ -384,9 +392,10 @@ struct ChopinRun
 
 FrameResult
 runChopin(const SystemConfig &cfg, const FrameTrace &trace,
-          const ChopinOptions &opts)
+          const ChopinOptions &opts, Tracer *tracer)
 {
-    SimContext ctx(cfg, trace, opts.ideal ? LinkParams::ideal() : cfg.link);
+    SimContext ctx(cfg, trace, opts.ideal ? LinkParams::ideal() : cfg.link,
+                   tracer);
     ChopinRun run(ctx, opts);
 
     std::vector<CompositionGroup> groups = formGroups(trace);
@@ -434,29 +443,33 @@ runChopin(const SystemConfig &cfg, const FrameTrace &trace,
 }
 
 FrameResult
-runScheme(Scheme scheme, const SystemConfig &cfg, const FrameTrace &trace)
+runScheme(Scheme scheme, const SystemConfig &cfg, const FrameTrace &trace,
+          Tracer *tracer)
 {
     switch (scheme) {
       case Scheme::SingleGpu:
-        return runSingleGpu(cfg, trace);
+        return runSingleGpu(cfg, trace, tracer);
       case Scheme::Duplication:
-        return runDuplication(cfg, trace);
+        return runDuplication(cfg, trace, tracer);
       case Scheme::Gpupd:
-        return runGpupd(cfg, trace, false);
+        return runGpupd(cfg, trace, false, tracer);
       case Scheme::GpupdIdeal:
-        return runGpupd(cfg, trace, true);
+        return runGpupd(cfg, trace, true, tracer);
       case Scheme::ChopinRoundRobin:
         return runChopin(cfg, trace,
-                         {DrawPolicy::RoundRobin, false, false});
+                         {DrawPolicy::RoundRobin, false, false}, tracer);
       case Scheme::Chopin:
         return runChopin(cfg, trace,
-                         {DrawPolicy::FewestRemaining, false, false});
+                         {DrawPolicy::FewestRemaining, false, false},
+                         tracer);
       case Scheme::ChopinCompSched:
         return runChopin(cfg, trace,
-                         {DrawPolicy::FewestRemaining, true, false});
+                         {DrawPolicy::FewestRemaining, true, false},
+                         tracer);
       case Scheme::ChopinIdeal:
         return runChopin(cfg, trace,
-                         {DrawPolicy::FewestRemaining, true, true});
+                         {DrawPolicy::FewestRemaining, true, true},
+                         tracer);
     }
     panic("unknown scheme");
 }

@@ -28,6 +28,21 @@ applySelfMerge(const CompositionJob &job, const TimingParams &timing,
     }
 }
 
+/** One whole-algorithm span on the comp_scheduler track (if tracing). */
+void
+traceComposition(const CompositionJob &job, Interconnect &net,
+                 const char *algorithm, const CompositionTiming &out)
+{
+    Tracer *tr = net.tracer();
+    if (tr == nullptr)
+        return;
+    Tick start = *std::min_element(job.ready.begin(), job.ready.end());
+    tr->span(tr->track("comp_scheduler"), "comp", algorithm,
+             std::min(start, out.end), out.end,
+             {{"pair_pixels", job.pairPixels()},
+              {"gpus", job.num_gpus}});
+}
+
 } // namespace
 
 void
@@ -75,6 +90,7 @@ composeOpaqueDirectSend(const CompositionJob &job, Interconnect &net,
     applySelfMerge(job, timing, compose, out.gpu_done);
     if (n == 1) {
         out.end = out.gpu_done[0];
+        traceComposition(job, net, "direct-send", out);
         return out;
     }
 
@@ -118,6 +134,7 @@ composeOpaqueDirectSend(const CompositionJob &job, Interconnect &net,
         }
     }
     out.end = *std::max_element(out.gpu_done.begin(), out.gpu_done.end());
+    traceComposition(job, net, "direct-send", out);
     return out;
 }
 
@@ -134,6 +151,7 @@ composeOpaqueScheduled(const CompositionJob &job, Interconnect &net,
     applySelfMerge(job, timing, compose, out.gpu_done);
     if (n == 1) {
         out.end = out.gpu_done[0];
+        traceComposition(job, net, "scheduled", out);
         return out;
     }
 
@@ -222,6 +240,7 @@ composeOpaqueScheduled(const CompositionJob &job, Interconnect &net,
                       "composition scheduler finished with GPU ", g,
                       " not fully composed");
     out.end = *std::max_element(out.gpu_done.begin(), out.gpu_done.end());
+    traceComposition(job, net, "scheduled", out);
     return out;
 }
 
@@ -272,6 +291,7 @@ composeTransparentChain(const CompositionJob &job, Interconnect &net,
         distributeComposite(job, net, timing, 0, job.ready[0],
                             job.subimage_pixels[0], compose, out);
         out.end = *std::max_element(out.gpu_done.begin(), out.gpu_done.end());
+        traceComposition(job, net, "chain", out);
         return out;
     }
 
@@ -292,6 +312,7 @@ composeTransparentChain(const CompositionJob &job, Interconnect &net,
     distributeComposite(job, net, timing, 0, acc_ready, acc_pixels, compose,
                         out);
     out.end = *std::max_element(out.gpu_done.begin(), out.gpu_done.end());
+    traceComposition(job, net, "chain", out);
     return out;
 }
 
@@ -348,6 +369,7 @@ composeTransparentTree(const CompositionJob &job, Interconnect &net,
     distributeComposite(job, net, timing, segs[0].holder, segs[0].ready,
                         segs[0].pixels, compose, out);
     out.end = *std::max_element(out.gpu_done.begin(), out.gpu_done.end());
+    traceComposition(job, net, "tree", out);
     return out;
 }
 

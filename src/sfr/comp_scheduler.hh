@@ -59,6 +59,16 @@ struct CompositionJob
     {
         return pair_pixels[static_cast<std::size_t>(src) * num_gpus + dst];
     }
+
+    /** Total pixels the job moves across the interconnect. */
+    std::uint64_t
+    pairPixels() const
+    {
+        std::uint64_t total = 0;
+        for (std::uint64_t px : pair_pixels)
+            total += px;
+        return total;
+    }
 };
 
 /**

@@ -16,6 +16,7 @@
 #include "gpu/pipeline.hh"
 #include "gpu/timing.hh"
 #include "net/interconnect.hh"
+#include "stats/metrics.hh"
 #include "util/image.hh"
 #include "util/types.hh"
 
@@ -112,13 +113,46 @@ struct CycleBreakdown
         return normal_pipeline + prim_projection + prim_distribution +
                composition + sync;
     }
+
+    CycleBreakdown &
+    operator+=(const CycleBreakdown &o)
+    {
+        normal_pipeline += o.normal_pipeline;
+        prim_projection += o.prim_projection;
+        prim_distribution += o.prim_distribution;
+        composition += o.composition;
+        sync += o.sync;
+        return *this;
+    }
+
+    /** Metric registry visitation (stats/metrics.hh). */
+    template <typename Self, typename V>
+    static void
+    visitMetrics(Self &self, V &&v)
+    {
+        v.field({"breakdown.normal_pipeline", "cycles"},
+                self.normal_pipeline);
+        v.field({"breakdown.prim_projection", "cycles"},
+                self.prim_projection);
+        v.field({"breakdown.prim_distribution", "cycles"},
+                self.prim_distribution);
+        v.field({"breakdown.composition", "cycles"}, self.composition);
+        v.field({"breakdown.sync", "cycles"}, self.sync);
+    }
 };
 
-/** Result of simulating one frame under one scheme. */
-struct FrameResult
+/**
+ * Every scalar counter a frame simulation accounts — the registry-visible
+ * part of FrameResult. Deliberately a flat, trivially-copyable struct of
+ * 64-bit fields (no padding): the round-trip test in
+ * tests/stats/metrics_test.cc serializes it through visitMetrics and
+ * memcmp-verifies the reconstruction byte-for-byte, so a field added here
+ * without a visitMetrics registration fails the suite instead of silently
+ * dropping out of the result cache and the determinism comparisons.
+ */
+struct FrameAccounting
 {
-    Scheme scheme = Scheme::SingleGpu;
-    unsigned num_gpus = 1;
+    std::uint64_t num_gpus = 1;
 
     Tick cycles = 0; ///< frame latency in GPU cycles
     CycleBreakdown breakdown;
@@ -132,9 +166,6 @@ struct FrameResult
     Tick raster_busy = 0;
     Tick frag_busy = 0;
 
-    /** Per-draw timing records of GPU 0 (Fig. 9 data; SingleGpu runs). */
-    std::vector<DrawTiming> draw_timings;
-
     /** CHOPIN group statistics (Fig. 22 discussion). */
     std::uint64_t groups_total = 0;
     std::uint64_t groups_distributed = 0;
@@ -144,9 +175,6 @@ struct FrameResult
     std::uint64_t retained_culled = 0;
     /** Draw-scheduler status-message traffic (Section VI-D). */
     Bytes sched_status_bytes = 0;
-
-    /** The final frame (render target 0). */
-    Image image;
 
     /** FNV-1a hash of the final frame's pixel bits (frameHash(image)). */
     std::uint64_t frame_hash = 0;
@@ -164,6 +192,44 @@ struct FrameResult
                          : static_cast<double>(geom_busy) /
                                static_cast<double>(work);
     }
+
+    /** Metric registry visitation (stats/metrics.hh). */
+    template <typename Self, typename V>
+    static void
+    visitMetrics(Self &self, V &&v)
+    {
+        v.field({"num_gpus", "count"}, self.num_gpus);
+        v.field({"cycles", "cycles"}, self.cycles);
+        CycleBreakdown::visitMetrics(self.breakdown, v);
+        TrafficStats::visitMetrics(self.traffic, v);
+        DrawStats::visitMetrics(self.totals, v);
+        v.field({"geom_busy", "cycles"}, self.geom_busy);
+        v.field({"raster_busy", "cycles"}, self.raster_busy);
+        v.field({"frag_busy", "cycles"}, self.frag_busy);
+        v.field({"groups_total", "count"}, self.groups_total);
+        v.field({"groups_distributed", "count"}, self.groups_distributed);
+        v.field({"tris_distributed", "count"}, self.tris_distributed);
+        v.field({"retained_culled", "count"}, self.retained_culled);
+        v.field({"sched_status_bytes", "bytes"}, self.sched_status_bytes);
+        v.field({"frame_hash", "hash"}, self.frame_hash);
+        v.field({"content_hash", "hash"}, self.content_hash);
+    }
+};
+
+/**
+ * Result of simulating one frame under one scheme: the registered
+ * accounting (FrameAccounting base — all counters read as before, e.g.
+ * `r.cycles`, `r.traffic.total`) plus the non-scalar payloads.
+ */
+struct FrameResult : FrameAccounting
+{
+    Scheme scheme = Scheme::SingleGpu;
+
+    /** Per-draw timing records of GPU 0 (Fig. 9 data; SingleGpu runs). */
+    std::vector<DrawTiming> draw_timings;
+
+    /** The final frame (render target 0). */
+    Image image;
 };
 
 } // namespace chopin

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "util/check.hh"
 #include "util/log.hh"
@@ -10,11 +11,11 @@ namespace chopin
 {
 
 SimContext::SimContext(const SystemConfig &config, const FrameTrace &frame,
-                       const LinkParams &link)
+                       const LinkParams &link, Tracer *trace_sink)
     : cfg(config), trace(frame), vp(frame.viewport),
       grid(vp.width, vp.height, config.num_gpus, config.tile_size,
            config.tile_assignment),
-      net(config.num_gpus, link)
+      net(config.num_gpus, link), tracer(trace_sink)
 {
     CHOPIN_CHECK(cfg.num_gpus >= 1 && cfg.num_gpus <= 64);
     CHOPIN_DCHECK(grid.ownersPartitionScreen(),
@@ -23,6 +24,15 @@ SimContext::SimContext(const SystemConfig &config, const FrameTrace &frame,
     pipes.reserve(cfg.num_gpus);
     for (unsigned g = 0; g < cfg.num_gpus; ++g)
         pipes.emplace_back(cfg.timing);
+    if (tracer != nullptr) {
+        // Register tracks in a fixed order (scheme phases first, then the
+        // per-GPU pipeline stages, then the egress ports) so trace files
+        // have a stable layout regardless of which model emits first.
+        phase_track = tracer->track("sfr.phases");
+        for (unsigned g = 0; g < cfg.num_gpus; ++g)
+            pipes[g].attachTracer(tracer, g);
+        net.setTracer(tracer);
+    }
 
     rts.reserve(trace.num_render_targets);
     rt_dirty.resize(trace.num_render_targets);
@@ -78,6 +88,9 @@ SimContext::syncBroadcast(std::uint32_t rt, Tick now)
     }
     std::fill(rt_dirty[rt].begin(), rt_dirty[rt].end(), 0);
     breakdown.sync += end - now;
+    if (tracer != nullptr && end > now)
+        tracer->span(phase_track, "sfr", "sync rt" + std::to_string(rt),
+                     now, end);
     return end;
 }
 
@@ -127,8 +140,12 @@ SimContext::finish(Scheme scheme, Tick end)
     r.num_gpus = cfg.num_gpus;
     r.cycles = end;
     r.breakdown = breakdown;
-    Tick accounted = breakdown.prim_projection + breakdown.prim_distribution +
-                     breakdown.composition + breakdown.sync;
+    // Schemes only ever account the four overhead categories; everything
+    // else is normal pipeline work, so breakdown.total() is the accounted
+    // overhead here (normal_pipeline is still zero).
+    chopin_assert(breakdown.normal_pipeline == 0,
+                  "normal_pipeline is derived, not accounted by schemes");
+    Tick accounted = breakdown.total();
     r.breakdown.normal_pipeline = end > accounted ? end - accounted : 0;
     r.traffic = net.traffic();
     r.totals = totals;

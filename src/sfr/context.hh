@@ -26,13 +26,16 @@ class SimContext
 {
   public:
     /**
-     * @param cfg   system configuration (copied; pipelines reference the
-     *              copy's timing parameters)
-     * @param trace frame to render (must outlive the context)
-     * @param link  link parameters (schemes pass cfg.link or ideal links)
+     * @param cfg    system configuration (copied; pipelines reference the
+     *               copy's timing parameters)
+     * @param trace  frame to render (must outlive the context)
+     * @param link   link parameters (schemes pass cfg.link or ideal links)
+     * @param tracer optional timeline tracer (must outlive the context);
+     *               wired into the interconnect and every pipeline, plus a
+     *               shared "sfr.phases" track for scheme-level spans
      */
     SimContext(const SystemConfig &cfg, const FrameTrace &trace,
-               const LinkParams &link);
+               const LinkParams &link, Tracer *tracer = nullptr);
 
     SimContext(const SimContext &) = delete;
     SimContext &operator=(const SimContext &) = delete;
@@ -43,6 +46,11 @@ class SimContext
     TileGrid grid;
     Interconnect net;
     std::vector<GpuPipeline> pipes;
+
+    /** Attached timeline tracer, or nullptr (tracing disabled). */
+    Tracer *const tracer;
+    /** Track for scheme-phase spans (valid while tracer != nullptr). */
+    Tracer::TrackId phase_track = 0;
 
     /** One surface per render target (region ownership is accounting-only;
      *  a shared surface equals the union of the per-GPU slices). */

@@ -19,9 +19,10 @@ namespace chopin
 {
 
 FrameResult
-runDuplication(const SystemConfig &cfg, const FrameTrace &trace)
+runDuplication(const SystemConfig &cfg, const FrameTrace &trace,
+               Tracer *tracer)
 {
-    SimContext ctx(cfg, trace, cfg.link);
+    SimContext ctx(cfg, trace, cfg.link, tracer);
 
     Tick t = 0;
     std::uint32_t bound_rt = 0;

@@ -30,10 +30,11 @@ namespace chopin
 {
 
 FrameResult
-runGpupd(const SystemConfig &cfg, const FrameTrace &trace, bool ideal)
+runGpupd(const SystemConfig &cfg, const FrameTrace &trace, bool ideal,
+         Tracer *tracer)
 {
-    SimContext ctx(cfg, trace,
-                   ideal ? LinkParams::ideal() : cfg.link);
+    SimContext ctx(cfg, trace, ideal ? LinkParams::ideal() : cfg.link,
+                   tracer);
     unsigned n = cfg.num_gpus;
 
     // Form draw-level batches of at least gpupd_batch_prims primitives.
@@ -73,6 +74,10 @@ runGpupd(const SystemConfig &cfg, const FrameTrace &trace, bool ideal)
         // Attribute only the projection work itself; waiting behind earlier
         // geometry work is pipeline time, not projection overhead.
         ctx.breakdown.prim_projection += proj_cycles;
+        if (ctx.tracer != nullptr && proj_done_all > proj_base)
+            ctx.tracer->span(ctx.phase_track, "gpupd", "projection",
+                             proj_base, proj_done_all,
+                             {{"tris", batch.tris}});
 
         // --- Functional rendering + destination-set computation. ----------
         // (Projection determines each primitive's destination GPUs; the
@@ -113,6 +118,9 @@ runGpupd(const SystemConfig &cfg, const FrameTrace &trace, bool ideal)
         }
         Tick dist_end = phase;
         ctx.breakdown.prim_distribution += dist_end - dist_start;
+        if (ctx.tracer != nullptr && dist_end > dist_start)
+            ctx.tracer->span(ctx.phase_track, "gpupd", "distribution",
+                             dist_start, dist_end);
 
         // --- Phase 3: normal pipeline on received primitives. -------------
         Tick issue = dist_end;

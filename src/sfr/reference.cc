@@ -15,11 +15,12 @@ namespace chopin
 {
 
 FrameResult
-runSingleGpu(const SystemConfig &cfg, const FrameTrace &trace)
+runSingleGpu(const SystemConfig &cfg, const FrameTrace &trace,
+             Tracer *tracer)
 {
     SystemConfig one = cfg;
     one.num_gpus = 1;
-    SimContext ctx(one, trace, cfg.link);
+    SimContext ctx(one, trace, cfg.link, tracer);
 
     Tick t = 0;
     for (const DrawCommand &cmd : trace.draws) {

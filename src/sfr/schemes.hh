@@ -15,16 +15,26 @@
 namespace chopin
 {
 
+/**
+ * Every runner takes an optional timeline tracer (stats/tracer.hh). When
+ * one is attached, pipeline stages, interconnect transfers and scheme
+ * phases (sync, projection/distribution, composition) emit spans into it;
+ * when nullptr (the default), tracing costs a pointer test and nothing
+ * else. Tracing never changes the returned FrameResult.
+ */
+
 /** Single-GPU in-order rendering: oracle image + normalization baseline. */
-FrameResult runSingleGpu(const SystemConfig &cfg, const FrameTrace &trace);
+FrameResult runSingleGpu(const SystemConfig &cfg, const FrameTrace &trace,
+                         Tracer *tracer = nullptr);
 
 /** Conventional SFR: every GPU processes every primitive (Section III-A). */
-FrameResult runDuplication(const SystemConfig &cfg, const FrameTrace &trace);
+FrameResult runDuplication(const SystemConfig &cfg, const FrameTrace &trace,
+                           Tracer *tracer = nullptr);
 
 /** GPUpd (Kim et al., MICRO 2017) with batching and runahead; @p ideal uses
  *  zero-latency infinite-bandwidth links (Fig. 5's idealization). */
 FrameResult runGpupd(const SystemConfig &cfg, const FrameTrace &trace,
-                     bool ideal);
+                     bool ideal, Tracer *tracer = nullptr);
 
 /** CHOPIN variant selection. */
 struct ChopinOptions
@@ -36,11 +46,11 @@ struct ChopinOptions
 
 /** CHOPIN (Section IV). */
 FrameResult runChopin(const SystemConfig &cfg, const FrameTrace &trace,
-                      const ChopinOptions &opts);
+                      const ChopinOptions &opts, Tracer *tracer = nullptr);
 
 /** Dispatch by Scheme enum (SingleGpu forces num_gpus = 1). */
 FrameResult runScheme(Scheme scheme, const SystemConfig &cfg,
-                      const FrameTrace &trace);
+                      const FrameTrace &trace, Tracer *tracer = nullptr);
 
 } // namespace chopin
 

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Metric registry: named, typed, self-describing counters.
+ *
+ * Every accounting struct in the simulator (CycleBreakdown, TrafficStats,
+ * DrawStats, DrawTiming, FrameAccounting) registers its fields through a
+ * single static visitor:
+ *
+ *     template <typename Self, typename V>
+ *     static void visitMetrics(Self &self, V &&v)
+ *     {
+ *         v.field({"breakdown.sync", "cycles"}, self.sync);
+ *         ...
+ *     }
+ *
+ * Everything else — the schema fingerprint, the binary cache serializer,
+ * equality/diff used by the determinism gates, and the JSON/table report
+ * emission — is a generic algorithm over that one visitation, so a field
+ * added to a struct but not registered breaks the round-trip test in
+ * tests/stats/metrics_test.cc instead of silently dropping out of caches,
+ * comparisons and reports.
+ *
+ * Field values are always carried as a 64-bit word (integers widened,
+ * doubles bit-cast), which keeps the wire format trivially stable and the
+ * visitors monomorphic enough to stay out of the hot path.
+ */
+
+#ifndef CHOPIN_STATS_METRICS_HH
+#define CHOPIN_STATS_METRICS_HH
+
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/fingerprint.hh"
+
+namespace chopin
+{
+
+/** Self-description of one registered metric. */
+struct MetricDesc
+{
+    const char *name; ///< dotted path, unique within its owning struct
+    const char *unit; ///< "cycles", "bytes", "count", "hash", ...
+};
+
+namespace detail
+{
+
+/** Schema type tag: doubles and integers must never alias in the schema. */
+template <typename U>
+constexpr char
+metricTypeTag()
+{
+    static_assert(std::is_arithmetic_v<U> || std::is_enum_v<U>,
+                  "metrics carry arithmetic values only");
+    if constexpr (std::is_floating_point_v<U>)
+        return 'f';
+    else
+        return 'u';
+}
+
+template <typename U>
+constexpr std::uint64_t
+toBits(U v)
+{
+    if constexpr (std::is_same_v<U, double>)
+        return std::bit_cast<std::uint64_t>(v);
+    else
+        return static_cast<std::uint64_t>(v);
+}
+
+template <typename U>
+constexpr U
+fromBits(std::uint64_t w)
+{
+    if constexpr (std::is_same_v<U, double>)
+        return std::bit_cast<double>(w);
+    else
+        return static_cast<U>(w);
+}
+
+struct SchemaVisitor
+{
+    Fingerprinter fp;
+
+    template <typename U>
+    void
+    field(const MetricDesc &d, const U &)
+    {
+        fp.str(d.name);
+        fp.str(d.unit);
+        fp.u64(static_cast<std::uint64_t>(metricTypeTag<U>()));
+        fp.u64(sizeof(U));
+    }
+};
+
+struct WriteVisitor
+{
+    std::ostream &os;
+
+    template <typename U>
+    void
+    field(const MetricDesc &, const U &v)
+    {
+        std::uint64_t w = toBits(v);
+        os.write(reinterpret_cast<const char *>(&w), sizeof w);
+    }
+};
+
+template <typename Reader>
+struct ReadVisitor
+{
+    Reader &r;
+    bool ok = true;
+
+    template <typename U>
+    void
+    field(const MetricDesc &, U &v)
+    {
+        std::uint64_t w = 0;
+        ok = ok && r.get(w);
+        if (ok)
+            v = fromBits<U>(w);
+    }
+};
+
+} // namespace detail
+
+/** One sampled metric value (64-bit raw bits; see MetricSample::real). */
+struct MetricSample
+{
+    const char *name;
+    const char *unit;
+    std::uint64_t bits;
+    bool is_double;
+
+    /** Value as a double regardless of the registered type. */
+    double
+    real() const
+    {
+        return is_double ? std::bit_cast<double>(bits)
+                         : static_cast<double>(bits);
+    }
+};
+
+/** Visitor collecting (name, unit, value) samples for reports and diffs. */
+class MetricCollector
+{
+  public:
+    template <typename U>
+    void
+    field(const MetricDesc &d, const U &v)
+    {
+        samples.push_back({d.name, d.unit, detail::toBits(v),
+                           std::is_floating_point_v<U>});
+    }
+
+    std::vector<MetricSample> samples;
+};
+
+/** All registered metrics of @p t, in registration order. */
+template <typename T>
+std::vector<MetricSample>
+collectMetrics(const T &t)
+{
+    MetricCollector c;
+    T::visitMetrics(t, c);
+    return c.samples;
+}
+
+/**
+ * Schema fingerprint: mixes every registered metric's name, unit and type
+ * tag. Changes whenever a metric is added, removed, renamed or retyped —
+ * the sweep result cache folds this into its version so stale layouts are
+ * rejected instead of misparsed.
+ */
+template <typename T>
+std::uint64_t
+metricSchemaFingerprint()
+{
+    T t{};
+    detail::SchemaVisitor v;
+    T::visitMetrics(t, v);
+    return v.fp.value();
+}
+
+/**
+ * Serialize every registered metric of @p t to @p os as consecutive 64-bit
+ * host-endian words, in registration order. The inverse of readMetrics();
+ * the sweep result cache and the round-trip test are both built on this
+ * pair, so nothing can be stored that cannot be compared and reloaded.
+ */
+template <typename T>
+void
+writeMetrics(std::ostream &os, const T &t)
+{
+    detail::WriteVisitor v{os};
+    T::visitMetrics(t, v);
+}
+
+/**
+ * Read every registered metric of @p t from @p reader (one 64-bit word per
+ * metric, registration order). @p Reader is any type with a templated
+ * `bool get(U &)` that soft-fails on truncation — the sweep cache's reader
+ * and the StreamReader below both qualify.
+ *
+ * @return false if the reader ran dry; @p t is unspecified in that case.
+ */
+template <typename Reader, typename T>
+bool
+readMetrics(Reader &reader, T &t)
+{
+    detail::ReadVisitor<Reader> v{reader};
+    T::visitMetrics(t, v);
+    return v.ok;
+}
+
+/** Minimal soft-failing reader over a std::istream (tests, tools). */
+class StreamReader
+{
+  public:
+    explicit StreamReader(std::istream &stream) : is(stream) {}
+
+    template <typename U>
+    bool
+    get(U &v)
+    {
+        is.read(reinterpret_cast<char *>(&v), sizeof v);
+        return is.gcount() == static_cast<std::streamsize>(sizeof v);
+    }
+
+  private:
+    std::istream &is;
+};
+
+/** Bit-exact equality over every registered metric. */
+template <typename T>
+bool
+metricsEqual(const T &a, const T &b)
+{
+    std::vector<MetricSample> sa = collectMetrics(a);
+    std::vector<MetricSample> sb = collectMetrics(b);
+    if (sa.size() != sb.size())
+        return false;
+    for (std::size_t i = 0; i < sa.size(); ++i)
+        if (sa[i].bits != sb[i].bits)
+            return false;
+    return true;
+}
+
+/**
+ * Names of every registered metric that differs between @p a and @p b —
+ * what the determinism gates print instead of a bare "results differ".
+ */
+template <typename T>
+std::vector<std::string>
+metricsDiff(const T &a, const T &b)
+{
+    std::vector<MetricSample> sa = collectMetrics(a);
+    std::vector<MetricSample> sb = collectMetrics(b);
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < sa.size() && i < sb.size(); ++i)
+        if (sa[i].bits != sb[i].bits)
+            out.push_back(sa[i].name);
+    return out;
+}
+
+} // namespace chopin
+
+#endif // CHOPIN_STATS_METRICS_HH

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Shared report serialization.
+ *
+ * Every machine-readable artifact a bench harness or tool writes goes
+ * through one of two sinks in this module: TextTable (stats/table.hh) for
+ * tables and their CSV blocks, and JsonWriter here for JSON summaries
+ * (BENCH_frame.json, BENCH_sweep.json, per-run stat dumps). Bench binaries
+ * must not hand-roll `std::cout << counter` stats output — a lint rule
+ * (bench-stats-print) enforces it — so formats can only drift in one place.
+ *
+ * writeMetricsJson() bridges the metric registry (stats/metrics.hh) into
+ * JSON: every registered metric of a struct becomes one key in an object,
+ * in registration order, integers emitted exactly.
+ */
+
+#ifndef CHOPIN_STATS_REPORT_HH
+#define CHOPIN_STATS_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "stats/metrics.hh"
+
+namespace chopin
+{
+
+/**
+ * Minimal streaming JSON writer: tracks nesting and comma placement so
+ * callers can never emit structurally invalid JSON. Output is compact
+ * (one line) with a trailing newline at finish(); doubles use the
+ * stream's default formatting (same as the historical hand-rolled
+ * emitters), integers are emitted exactly.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &stream) : os(stream) {}
+
+    JsonWriter &
+    beginObject()
+    {
+        preValue();
+        os << '{';
+        stack.push_back(State::ObjectFirst);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        pop(State::ObjectFirst, State::ObjectNext);
+        os << '}';
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        preValue();
+        os << '[';
+        stack.push_back(State::ArrayFirst);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        pop(State::ArrayFirst, State::ArrayNext);
+        os << ']';
+        return *this;
+    }
+
+    JsonWriter &
+    key(std::string_view k)
+    {
+        preValue();
+        putString(k);
+        os << ':';
+        have_key = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::string_view s)
+    {
+        preValue();
+        putString(s);
+        return *this;
+    }
+
+    JsonWriter &value(const char *s) { return value(std::string_view(s)); }
+
+    JsonWriter &
+    value(double v)
+    {
+        preValue();
+        os << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        preValue();
+        os << (v ? "true" : "false");
+        return *this;
+    }
+
+    /** Any integer type, widened without narrowing surprises. */
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T> &&
+                                          !std::is_same_v<T, bool>>>
+    JsonWriter &
+    value(T v)
+    {
+        preValue();
+        if constexpr (std::is_signed_v<T>)
+            os << static_cast<std::int64_t>(v);
+        else
+            os << static_cast<std::uint64_t>(v);
+        return *this;
+    }
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view k, T &&v)
+    {
+        key(k);
+        return value(std::forward<T>(v));
+    }
+
+    /** Terminate the document (newline); all scopes must be closed. */
+    void
+    finish()
+    {
+        os << '\n';
+    }
+
+  private:
+    enum class State
+    {
+        ObjectFirst,
+        ObjectNext,
+        ArrayFirst,
+        ArrayNext,
+    };
+
+    void
+    preValue()
+    {
+        if (have_key) {
+            have_key = false;
+            return; // the comma was placed before the key
+        }
+        if (stack.empty())
+            return;
+        State &s = stack.back();
+        if (s == State::ObjectNext || s == State::ArrayNext)
+            os << ',';
+        s = s == State::ObjectFirst ? State::ObjectNext
+            : s == State::ArrayFirst ? State::ArrayNext
+                                     : s;
+    }
+
+    void
+    pop(State first, State next)
+    {
+        if (!stack.empty() &&
+            (stack.back() == first || stack.back() == next))
+            stack.pop_back();
+        have_key = false;
+    }
+
+    void putString(std::string_view s);
+
+    std::ostream &os;
+    std::vector<State> stack;
+    bool have_key = false;
+};
+
+/**
+ * Emit every registered metric of @p t as one JSON object keyed by metric
+ * name, in registration order. Doubles round-trip via the stream's default
+ * formatting; integer metrics are exact.
+ */
+template <typename T>
+void
+writeMetricsJson(JsonWriter &w, const T &t)
+{
+    w.beginObject();
+    for (const MetricSample &s : collectMetrics(t)) {
+        w.key(s.name);
+        if (s.is_double)
+            w.value(s.real());
+        else
+            w.value(s.bits);
+    }
+    w.endObject();
+}
+
+} // namespace chopin
+
+#endif // CHOPIN_STATS_REPORT_HH

@@ -1,0 +1,120 @@
+#include "stats/tracer.hh"
+
+#include <ostream>
+
+#include "util/check.hh"
+
+namespace chopin
+{
+
+namespace
+{
+
+/** JSON string escaping (names are ASCII, but stay correct regardless). */
+void
+putJsonString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':  os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+Tracer::TrackId
+Tracer::track(const std::string &name)
+{
+    seq.assertHeld("Tracer::track");
+    for (std::size_t i = 0; i < tracks.size(); ++i)
+        if (tracks[i] == name)
+            return static_cast<TrackId>(i);
+    tracks.push_back(name);
+    return static_cast<TrackId>(tracks.size() - 1);
+}
+
+void
+Tracer::span(TrackId track, const char *category, std::string name,
+             Tick start, Tick end, std::vector<TraceArg> args)
+{
+    seq.assertHeld("Tracer::span");
+    CHOPIN_ASSERT(track < tracks.size(), "span on unregistered track");
+    CHOPIN_ASSERT(end >= start, "span ends before it starts");
+    spans.push_back(
+        {track, category, std::move(name), start, end - start,
+         std::move(args)});
+}
+
+std::size_t
+Tracer::spanCount() const
+{
+    seq.assertHeld("Tracer::spanCount");
+    return spans.size();
+}
+
+void
+Tracer::clearSpans()
+{
+    seq.assertHeld("Tracer::clearSpans");
+    spans.clear();
+}
+
+void
+Tracer::exportChromeJson(std::ostream &os) const
+{
+    seq.assertHeld("Tracer::exportChromeJson");
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+    // Track names first, as thread_name metadata in registration order.
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+           << (i + 1) << ",\"args\":{\"name\":";
+        putJsonString(os, tracks[i]);
+        os << "}}";
+    }
+    // Then every span, in emission order. ts/dur are sim Ticks verbatim
+    // (trace viewers label them "us"; the unit is cycles here).
+    for (const Span &s : spans) {
+        sep();
+        os << "{\"name\":";
+        putJsonString(os, s.name);
+        os << ",\"cat\":";
+        putJsonString(os, s.category);
+        os << ",\"ph\":\"X\",\"ts\":" << s.start << ",\"dur\":" << s.dur
+           << ",\"pid\":1,\"tid\":" << (s.track + 1);
+        if (!s.args.empty()) {
+            os << ",\"args\":{";
+            for (std::size_t i = 0; i < s.args.size(); ++i) {
+                if (i)
+                    os << ",";
+                putJsonString(os, s.args[i].key);
+                os << ":" << s.args[i].value;
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+} // namespace chopin

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic timeline tracer.
+ *
+ * A Tracer is an append-only sink for spans — named intervals on named
+ * tracks, timestamped in *simulated* Ticks, never wall clock. The model
+ * layers (gpu/pipeline per-draw stage spans, net/interconnect per-transfer
+ * spans with their traffic class, sfr composition/sync/distribution phase
+ * spans) emit into it when one is attached; when none is (the default), the
+ * instrumentation sites are a null-pointer check and nothing else.
+ *
+ * Determinism contract: span() asserts the sequential capability, i.e. it
+ * may only be called from coordinator (timing-model) code, never from
+ * inside a parallelFor worker. Since the coordinator's event order is a
+ * pure function of (trace, config), the span sequence — and therefore the
+ * exported trace file — is byte-identical at any host --jobs value. A
+ * violation trips the capability assert instead of silently producing
+ * jobs-dependent traces.
+ *
+ * exportChromeJson() writes Chrome trace-event JSON ("X" complete events
+ * plus thread_name metadata) loadable in Perfetto / chrome://tracing; see
+ * DESIGN.md §10.
+ */
+
+#ifndef CHOPIN_STATS_TRACER_HH
+#define CHOPIN_STATS_TRACER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/sequential.hh"
+#include "util/types.hh"
+
+namespace chopin
+{
+
+/** One key/value annotation on a span ("args" in the Chrome JSON). */
+struct TraceArg
+{
+    const char *key;
+    std::uint64_t value;
+};
+
+class Tracer
+{
+  public:
+    /** Opaque track handle; tracks render as threads in trace viewers. */
+    using TrackId = std::uint32_t;
+
+    /**
+     * Register (or look up) the track named @p name. Track display order
+     * is registration order, so models should register their tracks at
+     * attach time, not lazily from the middle of a frame.
+     */
+    TrackId track(const std::string &name);
+
+    /**
+     * Record the interval [@p start, @p end) on @p track. Zero-length
+     * spans are kept (they mark instantaneous events); @p end must not
+     * precede @p start.
+     */
+    void span(TrackId track, const char *category, std::string name,
+              Tick start, Tick end, std::vector<TraceArg> args = {});
+
+    std::size_t spanCount() const;
+
+    /** Drop all spans but keep the registered tracks (new frame). */
+    void clearSpans();
+
+    /**
+     * Write the whole timeline as Chrome trace-event JSON. Deterministic:
+     * metadata first (track registration order), then spans in emission
+     * order, integers only — no floats, no wall-clock anywhere.
+     */
+    void exportChromeJson(std::ostream &os) const;
+
+  private:
+    struct Span
+    {
+        TrackId track;
+        const char *category;
+        std::string name;
+        Tick start;
+        Tick dur;
+        std::vector<TraceArg> args;
+    };
+
+    SequentialCap seq; ///< coordinator ownership; guards all tracer state
+
+    std::vector<std::string> tracks CHOPIN_GUARDED_BY(seq);
+    std::vector<Span> spans CHOPIN_GUARDED_BY(seq);
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_STATS_TRACER_HH

@@ -1,8 +1,10 @@
 #include "util/cli.hh"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
+#include "util/check.hh"
 #include "util/log.hh"
 
 namespace chopin
@@ -116,6 +118,15 @@ CommandLine::printHelp(const std::string &prog) const
         std::cout << "  --" << name << " (default: " << flag.def << ")\n"
                   << "      " << flag.help << "\n";
     }
+}
+
+void
+checkWritablePath(const std::string &path, const char *flag)
+{
+    CHOPIN_CHECK(!path.empty(), flag, " must not be empty");
+    std::ofstream probe(path, std::ios::binary | std::ios::app);
+    CHOPIN_CHECK(probe.good(), "cannot open '", path, "' for writing (",
+                 flag, ")");
 }
 
 } // namespace chopin

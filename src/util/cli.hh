@@ -59,6 +59,15 @@ class CommandLine
     std::vector<std::string> args;
 };
 
+/**
+ * Validate an output path *before* any expensive work: probe-open it for
+ * appending (existing contents are untouched; a missing file is created).
+ * Failure goes through the check layer, so a tool that installed
+ * setCliCheckTool() prints "<tool>: error: cannot write ..." and exits 2
+ * up front instead of simulating for minutes and then failing to save.
+ */
+void checkWritablePath(const std::string &path, const char *flag);
+
 } // namespace chopin
 
 #endif // CHOPIN_UTIL_CLI_HH

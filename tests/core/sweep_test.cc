@@ -154,13 +154,13 @@ TEST(Sweep, VersionMismatchedEntryRejectedThenEvictedByStore)
     const FrameResult &r = runner.run(smallScenario());
     std::uint64_t key = scenarioFingerprint(
         smallScenario().scheme, runner.traceFp("ut3"),
-        smallScenario().cfg, resultSchemaVersion);
+        smallScenario().cfg, resultCacheVersion());
 
     // A cache constructed with a different schema version sees the same
     // file (path is keyed by the fingerprint alone) but must reject its
     // header.
-    ResultCache v1(dir, resultSchemaVersion);
-    ResultCache v2(dir, resultSchemaVersion + 1);
+    ResultCache v1(dir, resultCacheVersion());
+    ResultCache v2(dir, resultCacheVersion() + 1);
     FrameResult out;
     EXPECT_EQ(v1.load(key, out), CacheLoad::Hit);
     EXPECT_EQ(v2.load(key, out), CacheLoad::Rejected);
@@ -179,9 +179,9 @@ TEST(Sweep, CorruptEntryIsRejectedAndRecomputed)
     const FrameResult &good = writer.run(smallScenario());
     std::uint64_t key = scenarioFingerprint(
         smallScenario().scheme, writer.traceFp("ut3"),
-        smallScenario().cfg, resultSchemaVersion);
+        smallScenario().cfg, resultCacheVersion());
 
-    ResultCache cache(dir, resultSchemaVersion);
+    ResultCache cache(dir, resultCacheVersion());
     std::string path = cache.path(key);
     ASSERT_TRUE(std::filesystem::exists(path));
 
@@ -219,9 +219,9 @@ TEST(Sweep, TruncatedEntryIsRejectedAndRecomputed)
     writer.run(smallScenario());
     std::uint64_t key = scenarioFingerprint(
         smallScenario().scheme, writer.traceFp("ut3"),
-        smallScenario().cfg, resultSchemaVersion);
+        smallScenario().cfg, resultCacheVersion());
 
-    ResultCache cache(dir, resultSchemaVersion);
+    ResultCache cache(dir, resultCacheVersion());
     std::string path = cache.path(key);
     std::filesystem::resize_file(path,
                                  std::filesystem::file_size(path) / 2);
@@ -238,7 +238,7 @@ TEST(Sweep, TruncatedEntryIsRejectedAndRecomputed)
 TEST(Sweep, GarbageFileIsRejectedNotFatal)
 {
     std::string dir = freshCacheDir("garbage");
-    ResultCache cache(dir, resultSchemaVersion);
+    ResultCache cache(dir, resultCacheVersion());
     std::uint64_t key = 0x1234abcd5678ef90ull;
     {
         std::ofstream f(cache.path(key), std::ios::binary);

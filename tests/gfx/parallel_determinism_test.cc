@@ -13,7 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "sfr/schemes.hh"
+#include "stats/metrics.hh"
+#include "stats/tracer.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
 #include "util/thread_pool.hh"
@@ -34,33 +38,14 @@ void
 expectIdentical(const FrameResult &a, const FrameResult &b,
                 const std::string &what)
 {
-    EXPECT_EQ(a.frame_hash, b.frame_hash) << what;
-    EXPECT_EQ(a.content_hash, b.content_hash) << what;
-    EXPECT_EQ(a.cycles, b.cycles) << what;
-
-    EXPECT_EQ(a.totals.verts_shaded, b.totals.verts_shaded) << what;
-    EXPECT_EQ(a.totals.tris_in, b.totals.tris_in) << what;
-    EXPECT_EQ(a.totals.tris_clipped, b.totals.tris_clipped) << what;
-    EXPECT_EQ(a.totals.tris_culled, b.totals.tris_culled) << what;
-    EXPECT_EQ(a.totals.tris_rasterized, b.totals.tris_rasterized) << what;
-    EXPECT_EQ(a.totals.tris_coarse_rejected, b.totals.tris_coarse_rejected)
-        << what;
-    EXPECT_EQ(a.totals.frags_generated, b.totals.frags_generated) << what;
-    EXPECT_EQ(a.totals.frags_early_pass, b.totals.frags_early_pass) << what;
-    EXPECT_EQ(a.totals.frags_early_fail, b.totals.frags_early_fail) << what;
-    EXPECT_EQ(a.totals.frags_late_pass, b.totals.frags_late_pass) << what;
-    EXPECT_EQ(a.totals.frags_late_fail, b.totals.frags_late_fail) << what;
-    EXPECT_EQ(a.totals.frags_shaded, b.totals.frags_shaded) << what;
-    EXPECT_EQ(a.totals.frags_textured, b.totals.frags_textured) << what;
-    EXPECT_EQ(a.totals.frags_written, b.totals.frags_written) << what;
-
-    EXPECT_EQ(a.geom_busy, b.geom_busy) << what;
-    EXPECT_EQ(a.raster_busy, b.raster_busy) << what;
-    EXPECT_EQ(a.frag_busy, b.frag_busy) << what;
-
-    EXPECT_EQ(a.traffic.total, b.traffic.total) << what;
-    EXPECT_EQ(a.traffic.messages, b.traffic.messages) << what;
-    EXPECT_EQ(a.breakdown.composition, b.breakdown.composition) << what;
+    // Every registered metric, not a hand-picked subset: the metric
+    // registry (stats/metrics.hh) is the comparison schema, so a counter
+    // added to FrameAccounting is automatically under this gate.
+    const FrameAccounting &fa = a;
+    const FrameAccounting &fb = b;
+    EXPECT_TRUE(metricsEqual(fa, fb))
+        << what << ": differing metrics: "
+        << ::testing::PrintToString(metricsDiff(fa, fb));
 }
 
 class ParallelDeterminismTest : public ::testing::TestWithParam<Scheme>
@@ -108,6 +93,40 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return name;
     });
+
+TEST(ParallelDeterminism, TraceBytesIdenticalAcrossJobs)
+{
+    // The exported timeline is part of the determinism contract: the span
+    // sequence is emitted by coordinator-only code, so the Chrome JSON
+    // must be byte-identical at any host --jobs value. Gpupd covers the
+    // projection/distribution spans, ChopinCompSched covers per-draw
+    // pipeline spans, interconnect transfers, sync and composition.
+    ScopedJobs restore(1);
+    SystemConfig cfg;
+    cfg.num_gpus = 4;
+    FrameTrace trace = generateBenchmark("ut3", 64);
+
+    for (Scheme scheme : {Scheme::Gpupd, Scheme::ChopinCompSched}) {
+        std::string baseline;
+        for (unsigned jobs : {1u, 2u, 8u}) {
+            setGlobalJobs(jobs);
+            Tracer tracer;
+            runScheme(scheme, cfg, trace, &tracer);
+            EXPECT_GT(tracer.spanCount(), 0u) << toString(scheme);
+
+            std::ostringstream os;
+            tracer.exportChromeJson(os);
+            if (jobs == 1u) {
+                baseline = os.str();
+                continue;
+            }
+            EXPECT_TRUE(os.str() == baseline)
+                << toString(scheme) << " jobs=" << jobs << ": trace bytes "
+                << "differ (" << os.str().size() << " vs "
+                << baseline.size() << " bytes)";
+        }
+    }
+}
 
 TEST(ParallelDeterminism, RendererScratchIsReusedAcrossDraws)
 {

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Metric registry round-trip and perturbation tests.
+ *
+ * The registry's whole value is that *every* accounting field flows through
+ * one visitation, so these tests are deliberately structural:
+ *
+ *  - FrameAccounting must be fully covered: its size must equal 8 bytes per
+ *    registered metric, and a serialize/deserialize round trip must
+ *    reconstruct the struct byte-for-byte. Adding a field without a
+ *    visitMetrics registration breaks the size identity; registering it
+ *    without storage breaks the round trip.
+ *  - Perturbing any single registered field must flip metricsEqual and
+ *    name exactly that field in metricsDiff — the determinism gates report
+ *    *which* counter diverged, so the naming must be precise and unique.
+ *  - The schema fingerprint must separate every registered struct and move
+ *    when the layout changes (exercised indirectly: distinct types have
+ *    distinct fingerprints, repeated evaluation is stable).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <sstream>
+
+#include "sfr/config.hh"
+#include "stats/metrics.hh"
+
+namespace chopin
+{
+namespace
+{
+
+/** Fills each registered field with a distinct nonzero value (1, 2, ...) */
+struct SequenceFiller
+{
+    std::uint64_t next = 1;
+
+    template <typename U>
+    void
+    field(const MetricDesc &, U &v)
+    {
+        v = static_cast<U>(next++);
+    }
+};
+
+/** Adds one to the @p target-th registered field, leaves the rest alone. */
+struct PerturbOne
+{
+    std::size_t target;
+    std::size_t index = 0;
+
+    template <typename U>
+    void
+    field(const MetricDesc &, U &v)
+    {
+        if (index++ == target)
+            v = static_cast<U>(static_cast<std::uint64_t>(v) + 1);
+    }
+};
+
+template <typename T>
+T
+filled()
+{
+    T t{};
+    SequenceFiller f;
+    T::visitMetrics(t, f);
+    return t;
+}
+
+TEST(Metrics, FrameAccountingIsFullyRegistered)
+{
+    // Every byte of FrameAccounting belongs to a registered 64-bit metric:
+    // no padding, no unregistered field. A field added to the struct but
+    // not to visitMetrics fails here before it can silently drop out of
+    // the result cache and the determinism comparisons.
+    FrameAccounting a{};
+    EXPECT_EQ(sizeof(FrameAccounting), 8 * collectMetrics(a).size());
+}
+
+TEST(Metrics, FrameAccountingRoundTripIsByteExact)
+{
+    FrameAccounting a = filled<FrameAccounting>();
+
+    std::stringstream ss;
+    writeMetrics(ss, a);
+    EXPECT_EQ(ss.str().size(), 8 * collectMetrics(a).size());
+
+    FrameAccounting b{};
+    StreamReader r(ss);
+    ASSERT_TRUE(readMetrics(r, b));
+    EXPECT_TRUE(metricsEqual(a, b));
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof a), 0)
+        << "registered metrics do not cover every byte of FrameAccounting";
+}
+
+TEST(Metrics, DrawTimingRoundTrips)
+{
+    DrawTiming a = filled<DrawTiming>();
+    std::stringstream ss;
+    writeMetrics(ss, a);
+    DrawTiming b{};
+    StreamReader r(ss);
+    ASSERT_TRUE(readMetrics(r, b));
+    EXPECT_TRUE(metricsEqual(a, b));
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof a), 0);
+}
+
+TEST(Metrics, TruncatedStreamSoftFails)
+{
+    FrameAccounting a = filled<FrameAccounting>();
+    std::stringstream ss;
+    writeMetrics(ss, a);
+    std::string bytes = ss.str();
+    ASSERT_GT(bytes.size(), 8u);
+
+    // Every truncation point between 0 and one-word-short must soft-fail
+    // (return false), never throw or misparse.
+    for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{8},
+                            bytes.size() - 8, bytes.size() - 1}) {
+        std::stringstream in(bytes.substr(0, cut));
+        FrameAccounting b{};
+        StreamReader r(in);
+        EXPECT_FALSE(readMetrics(r, b)) << "cut at " << cut;
+    }
+}
+
+TEST(Metrics, PerturbingEachFieldIsDetectedAndNamed)
+{
+    FrameAccounting base = filled<FrameAccounting>();
+    std::vector<MetricSample> samples = collectMetrics(base);
+
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        FrameAccounting mutated = base;
+        PerturbOne p{i};
+        FrameAccounting::visitMetrics(mutated, p);
+
+        EXPECT_FALSE(metricsEqual(base, mutated)) << samples[i].name;
+        std::vector<std::string> diff = metricsDiff(base, mutated);
+        ASSERT_EQ(diff.size(), 1u) << samples[i].name;
+        EXPECT_EQ(diff[0], samples[i].name);
+    }
+}
+
+TEST(Metrics, RegisteredNamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const MetricSample &s : collectMetrics(FrameAccounting{}))
+        EXPECT_TRUE(names.insert(s.name).second)
+            << "duplicate metric name: " << s.name;
+}
+
+TEST(Metrics, SchemaFingerprintsSeparateStructs)
+{
+    std::set<std::uint64_t> fps = {
+        metricSchemaFingerprint<FrameAccounting>(),
+        metricSchemaFingerprint<DrawTiming>(),
+        metricSchemaFingerprint<TrafficStats>(),
+        metricSchemaFingerprint<CycleBreakdown>(),
+        metricSchemaFingerprint<DrawStats>(),
+    };
+    EXPECT_EQ(fps.size(), 5u);
+
+    // Deterministic: the fingerprint is a pure function of the schema.
+    EXPECT_EQ(metricSchemaFingerprint<FrameAccounting>(),
+              metricSchemaFingerprint<FrameAccounting>());
+}
+
+TEST(Metrics, OperatorPlusEqualsMatchesRegistry)
+{
+    // The satellite operator+= implementations must cover exactly the
+    // registered fields: summing a filled value into a default one must
+    // reproduce the filled value for every additive struct.
+    TrafficStats t = filled<TrafficStats>();
+    TrafficStats sum{};
+    sum += t;
+    EXPECT_TRUE(metricsEqual(sum, t));
+
+    CycleBreakdown c = filled<CycleBreakdown>();
+    CycleBreakdown csum{};
+    csum += c;
+    EXPECT_TRUE(metricsEqual(csum, c));
+}
+
+} // namespace
+} // namespace chopin

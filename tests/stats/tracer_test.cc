@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Timeline tracer tests: the Chrome trace-event JSON export is golden-file
+ * stable (byte-for-byte, so the parallel-determinism gate can diff trace
+ * files across --jobs values), track registration is idempotent, and the
+ * escaping path survives hostile span names.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/tracer.hh"
+
+namespace chopin
+{
+namespace
+{
+
+TEST(Tracer, TrackRegistrationIsIdempotent)
+{
+    Tracer tr;
+    Tracer::TrackId a = tr.track("gpu0.geom");
+    Tracer::TrackId b = tr.track("net.egress");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(tr.track("gpu0.geom"), a);
+    EXPECT_EQ(tr.track("net.egress"), b);
+}
+
+TEST(Tracer, ExportMatchesGoldenJson)
+{
+    Tracer tr;
+    Tracer::TrackId geom = tr.track("gpu0.geom");
+    Tracer::TrackId net = tr.track("net.egress");
+    tr.span(geom, "draw", "draw0", 0, 100);
+    tr.span(net, "xfer", "comp", 50, 80, {{"bytes", 4096}, {"dst", 3}});
+    tr.span(geom, "draw", "draw1", 100, 100); // zero-length: kept
+
+    // The golden string pins the whole format: metadata first in track
+    // registration order, then spans in emission order, integer ts/dur.
+    // Any change here changes every archived trace — bump deliberately.
+    const std::string golden =
+        "{\"traceEvents\":[\n"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+        "\"args\":{\"name\":\"gpu0.geom\"}},\n"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
+        "\"args\":{\"name\":\"net.egress\"}},\n"
+        "{\"name\":\"draw0\",\"cat\":\"draw\",\"ph\":\"X\",\"ts\":0,"
+        "\"dur\":100,\"pid\":1,\"tid\":1},\n"
+        "{\"name\":\"comp\",\"cat\":\"xfer\",\"ph\":\"X\",\"ts\":50,"
+        "\"dur\":30,\"pid\":1,\"tid\":2,"
+        "\"args\":{\"bytes\":4096,\"dst\":3}},\n"
+        "{\"name\":\"draw1\",\"cat\":\"draw\",\"ph\":\"X\",\"ts\":100,"
+        "\"dur\":0,\"pid\":1,\"tid\":1}\n"
+        "]}\n";
+
+    std::ostringstream os;
+    tr.exportChromeJson(os);
+    EXPECT_EQ(os.str(), golden);
+
+    // Re-export is bit-identical (no internal state mutates on export).
+    std::ostringstream again;
+    tr.exportChromeJson(again);
+    EXPECT_EQ(again.str(), os.str());
+}
+
+TEST(Tracer, EmptyTracerExportsEmptyEventList)
+{
+    Tracer tr;
+    std::ostringstream os;
+    tr.exportChromeJson(os);
+    EXPECT_EQ(os.str(), "{\"traceEvents\":[\n]}\n");
+    EXPECT_EQ(tr.spanCount(), 0u);
+}
+
+TEST(Tracer, ClearSpansKeepsTracks)
+{
+    Tracer tr;
+    Tracer::TrackId t = tr.track("sfr.phases");
+    tr.span(t, "phase", "sync", 10, 20);
+    EXPECT_EQ(tr.spanCount(), 1u);
+    tr.clearSpans();
+    EXPECT_EQ(tr.spanCount(), 0u);
+    EXPECT_EQ(tr.track("sfr.phases"), t);
+
+    std::ostringstream os;
+    tr.exportChromeJson(os);
+    EXPECT_NE(os.str().find("sfr.phases"), std::string::npos);
+    EXPECT_EQ(os.str().find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Tracer, JsonEscapesHostileNames)
+{
+    Tracer tr;
+    Tracer::TrackId t = tr.track("quote\"back\\slash");
+    tr.span(t, "cat", "line\nbreak\ttab\x01", 0, 1);
+
+    std::ostringstream os;
+    tr.exportChromeJson(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("quote\\\"back\\\\slash"), std::string::npos);
+    EXPECT_NE(out.find("line\\nbreak\\ttab\\u0001"), std::string::npos);
+    // No raw control characters may survive into the JSON bytes.
+    for (char c : out)
+        EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n');
+}
+
+} // namespace
+} // namespace chopin

@@ -46,6 +46,12 @@ remediation recipe of each finding):
                 every result is fingerprint-memoized and shareable through
                 the on-disk result cache. perf_frame's intentional direct
                 timing calls carry explicit suppressions.
+  bench-stats-print
+                No ad-hoc streaming of FrameResult counter fields in
+                bench/ outside the harness layer — report output flows
+                through the metric registry serializers (TextTable /
+                JsonWriter / writeMetricsJson in stats/report.hh) so every
+                harness emits one schema instead of hand-rolled prints.
 
 Suppressions: append `// chopin-lint: allow(<rule>[, <rule>...])` to the
 offending line with a comment justifying it (the legacy spelling
@@ -181,6 +187,12 @@ NAKED_SYNC_RE = re.compile(
     r"\bstd::(?:mutex|recursive_mutex|shared_mutex|timed_mutex|"
     r"condition_variable(?:_any)?|atomic)\b")
 RUNSCHEME_RE = re.compile(r"\brunScheme\s*\(")
+# Streaming a registered counter field directly (`<< r.cycles`), including
+# continuation lines of a multi-line `std::cout << ...` statement.
+STATS_PRINT_RE = re.compile(
+    r"<<.*\.(?:cycles|frame_hash|content_hash|traffic|breakdown|totals|"
+    r"geom_busy|raster_busy|frag_busy|sched_status_bytes|groups_total|"
+    r"groups_distributed|tris_distributed|retained_culled)\b")
 
 
 def check_rng(code: str) -> Optional[str]:
@@ -260,6 +272,15 @@ def check_bench_runscheme(code: str) -> Optional[str]:
     return None
 
 
+def check_bench_stats_print(code: str) -> Optional[str]:
+    if STATS_PRINT_RE.search(code):
+        return ("ad-hoc print of a registered counter field; emit it "
+                "through TextTable / JsonWriter / writeMetricsJson "
+                "(stats/report.hh) so the field stays inside the metric "
+                "registry schema")
+    return None
+
+
 def check_naked_sync(code: str) -> Optional[str]:
     if NAKED_SYNC_RE.search(code) and "CHOPIN_GUARDED_BY" not in code and \
             "CHOPIN_PT_GUARDED_BY" not in code:
@@ -333,6 +354,14 @@ RULES = [
          "`// chopin-lint: allow(bench-runscheme)` with a justification",
          in_bench_outside_harness,
          check_bench_runscheme),
+    Rule("bench-stats-print",
+         "bench counter output flows through the registry serializers",
+         "route the value through TextTable rows or JsonWriter fields "
+         "(stats/report.hh); for a full accounting dump use "
+         "writeMetricsJson over the FrameAccounting registry instead of "
+         "streaming individual fields",
+         in_bench_outside_harness,
+         check_bench_stats_print),
 ]
 
 
@@ -448,6 +477,17 @@ SELFTEST_CASES = [
      "return runScheme(s.scheme, s.cfg, trace);", False),  # harness layer
     ("bench-runscheme", "src/core/sweep.cc",
      "FrameResult r = runScheme(s.scheme, s.cfg, tr);", False),  # not bench/
+    ("bench-stats-print", "bench/fig13_performance.cpp",
+     "std::cout << r.cycles << \"\\n\";", True),
+    ("bench-stats-print", "bench/fig13_performance.cpp",
+     "          << serial.traffic.total() << \",\"", True),  # continuation
+    ("bench-stats-print", "bench/fig13_performance.cpp",
+     "w.field(\"cycles\", m.cycles);", False),  # JsonWriter is the way
+    ("bench-stats-print", "bench/fig13_performance.cpp",
+     "std::cout << r.cycles; // chopin-lint: allow(bench-stats-print)",
+     False),
+    ("bench-stats-print", "bench/common.cc",
+     "std::cout << r.cycles << \"\\n\";", False),  # harness layer exempt
     # Legacy suppression spelling still honored.
     ("rng", "src/gfx/raster.cc",
      "int x = rand(); // lint:allow(rng)", False),

@@ -5,11 +5,19 @@
  * reference.
  *
  *   render_trace frame.trace --scheme=chopin+cs --gpus=8 --out=frame.ppm
+ *
+ * With --trace-out=frame.trace.json it additionally records a
+ * deterministic timeline (per-draw pipeline stages, per-transfer link
+ * spans, sync/composition phases) and writes it as Chrome trace-event
+ * JSON, loadable in Perfetto or chrome://tracing. The file is a pure
+ * function of (trace, scheme, config): byte-identical at any --jobs.
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "core/chopin.hh"
+#include "stats/tracer.hh"
 #include "util/check.hh"
 
 namespace
@@ -55,10 +63,20 @@ main(int argc, char **argv)
     cli.addFlag("scheme", "chopin+cs", "rendering scheme");
     cli.addFlag("gpus", "8", "number of GPUs");
     cli.addFlag("out", "frame.ppm", "output PPM path");
+    cli.addFlag("trace-out", "",
+                "write the simulation timeline as Chrome trace-event JSON "
+                "(open in Perfetto or chrome://tracing; empty = off)");
     cli.addFlag("verify", "true", "compare against single-GPU reference");
     cli.parse(argc, argv);
     if (cli.positional().size() != 1)
         fatal("usage: render_trace <file.trace> [flags]");
+
+    // Validate every output path before the (potentially long) simulation.
+    std::string out_path = cli.getString("out");
+    std::string trace_out = cli.getString("trace-out");
+    checkWritablePath(out_path, "--out");
+    if (!trace_out.empty())
+        checkWritablePath(trace_out, "--trace-out");
 
     FrameTrace trace;
     if (!loadTrace(trace, cli.positional()[0]))
@@ -71,7 +89,9 @@ main(int argc, char **argv)
     SystemConfig cfg;
     cfg.num_gpus = static_cast<unsigned>(gpus);
     Scheme scheme = schemeByName(cli.getString("scheme"));
-    FrameResult r = runScheme(scheme, cfg, trace);
+    Tracer tracer;
+    FrameResult r = runScheme(scheme, cfg, trace,
+                              trace_out.empty() ? nullptr : &tracer);
 
     std::cout << toString(scheme) << " on " << cfg.num_gpus
               << " GPU(s): " << r.cycles << " cycles, "
@@ -86,8 +106,20 @@ main(int argc, char **argv)
         std::cout << "verified: image matches the single-GPU reference\n";
     }
 
-    if (!r.image.writePpm(cli.getString("out")))
-        fatal("cannot write '", cli.getString("out"), "'");
-    std::cout << "wrote " << cli.getString("out") << "\n";
+    if (!trace_out.empty()) {
+        std::ofstream os(trace_out, std::ios::binary | std::ios::trunc);
+        if (!os)
+            fatal("cannot write '", trace_out, "'");
+        tracer.exportChromeJson(os);
+        os.flush();
+        if (!os)
+            fatal("error while writing '", trace_out, "'");
+        std::cout << "wrote " << trace_out << " (" << tracer.spanCount()
+                  << " spans)\n";
+    }
+
+    if (!r.image.writePpm(out_path))
+        fatal("cannot write '", out_path, "'");
+    std::cout << "wrote " << out_path << "\n";
     return 0;
 }
