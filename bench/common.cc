@@ -173,8 +173,9 @@ Harness::writeTraceSample(Scheme scheme, const SystemConfig &cfg)
     CHOPIN_CHECK(!benches.empty(), "--trace-out needs a benchmark");
     Tracer tracer;
     // Direct runScheme on purpose: a sweep-engine hit would return a
-    // cached FrameResult with no spans recorded.
-    FrameResult r = runScheme( // chopin-lint: allow(bench-runscheme)
+    // cached FrameResult with no spans recorded. (No suppression needed:
+    // bench/common.* is the harness layer the rule exempts.)
+    FrameResult r = runScheme(
         scheme, cfg, trace(benches.front()), &tracer);
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
     CHOPIN_CHECK(os.good(), "cannot write '", path, "'");

@@ -279,16 +279,25 @@ ResultCache::store(std::uint64_t key, const FrameResult &r) const
 
 // --- SweepRunner ----------------------------------------------------------
 
-SweepRunner::SweepRunner(SweepOptions options) : opts(std::move(options))
+/** Validate and resolve defaults before the const members freeze. */
+static SweepOptions
+normalizeOptions(SweepOptions o)
 {
-    CHOPIN_CHECK(opts.scale >= 1, "sweep scale divisor must be >= 1, got ",
-                 opts.scale);
-    if (opts.sweep_jobs == 0)
-        opts.sweep_jobs = defaultJobs();
-    pool = std::make_unique<ThreadPool>(opts.sweep_jobs);
-    if (!opts.cache_dir.empty())
-        disk = std::make_unique<ResultCache>(opts.cache_dir,
-                                             opts.cache_version);
+    CHOPIN_CHECK(o.scale >= 1, "sweep scale divisor must be >= 1, got ",
+                 o.scale);
+    if (o.sweep_jobs == 0)
+        o.sweep_jobs = defaultJobs();
+    return o;
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : opts(normalizeOptions(std::move(options))),
+      pool(std::make_unique<ThreadPool>(opts.sweep_jobs)),
+      disk(opts.cache_dir.empty()
+               ? nullptr
+               : std::make_unique<ResultCache>(opts.cache_dir,
+                                               opts.cache_version))
+{
 }
 
 SweepRunner::~SweepRunner() = default;

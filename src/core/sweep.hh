@@ -211,9 +211,11 @@ class SweepRunner
     /** Compute-or-fetch one scenario given its resolved key. */
     const FrameResult &runKeyed(const Scenario &s, std::uint64_t key);
 
-    SweepOptions opts;
-    std::unique_ptr<ThreadPool> pool; ///< dedicated outer scenario pool
-    std::unique_ptr<ResultCache> disk;
+    // Immutable after construction (normalized/created in the ctor's
+    // init list), so scenario workers read them without locking.
+    const SweepOptions opts; ///< sweep_jobs already resolved
+    const std::unique_ptr<ThreadPool> pool; ///< dedicated scenario pool
+    const std::unique_ptr<ResultCache> disk;
 
     mutable Mutex m;
     std::map<std::string, TraceEntry> traces CHOPIN_GUARDED_BY(m);

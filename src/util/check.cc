@@ -18,7 +18,8 @@ cliHandler(const CheckFailure &failure)
               << (failure.message.empty() ? failure.condition
                                           : failure.message.c_str())
               << "\n";
-    std::exit(2);
+    // CHOPIN_CHECK failures terminate the tool; single-threaded by then.
+    std::exit(2); // NOLINT(concurrency-mt-unsafe)
 }
 
 void

@@ -58,7 +58,8 @@ CommandLine::parse(int argc, char **argv)
     }
     if (getBool("help")) {
         printHelp(argc > 0 ? argv[0] : "prog");
-        std::exit(0);
+        // Reached only from main-thread CLI parsing, never a worker.
+        std::exit(0); // NOLINT(concurrency-mt-unsafe)
     }
 }
 

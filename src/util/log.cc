@@ -29,7 +29,7 @@ die(std::string_view kind, const std::string &msg, bool abort_process)
     std::cerr << kind << ": " << msg << std::endl;
     if (abort_process)
         std::abort();
-    std::exit(1);
+    std::exit(1); // NOLINT(concurrency-mt-unsafe) -- fatal-path only
 }
 
 } // namespace detail

@@ -1,0 +1,68 @@
+"""Content-hash summary cache for chopin-analyze.
+
+Warm runs are incremental: each source file's TU summary is stored as
+JSON keyed by sha256(file bytes) + frontend name + SUMMARY_VERSION, so
+editing one file re-parses only that file. The key is pure content —
+no mtimes — which makes the cache safe to share across checkouts and
+trivially correct under git operations that rewrite timestamps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+import ir
+
+
+class SummaryCache:
+    def __init__(self, cache_dir: pathlib.Path, frontend: str):
+        self.dir = cache_dir
+        self.frontend = frontend
+        self.hits = 0
+        self.misses = 0
+        self.dir.mkdir(parents=True, exist_ok=True)
+
+    def _key(self, content: bytes) -> str:
+        h = hashlib.sha256()
+        h.update(f"v{ir.SUMMARY_VERSION}:{self.frontend}:".encode())
+        h.update(content)
+        return h.hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.dir / f"{key}.json"
+
+    def get(self, content: bytes) -> dict | None:
+        p = self._path(self._key(content))
+        if not p.is_file():
+            self.misses += 1
+            return None
+        try:
+            summary = json.loads(p.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, content: bytes, summary: dict) -> None:
+        p = self._path(self._key(content))
+        tmp = p.with_suffix(".tmp")
+        tmp.write_text(json.dumps(summary, sort_keys=True))
+        tmp.replace(p)
+
+
+class NullCache:
+    """--no-cache: parse everything, store nothing."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, content: bytes) -> dict | None:
+        self.misses += 1
+        return None
+
+    def put(self, content: bytes, summary: dict) -> None:
+        pass

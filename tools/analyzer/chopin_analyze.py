@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""chopin-analyze: whole-program semantic analyzer for determinism and
+concurrency invariants.
+
+Where clang-tidy and the regex lint (tools/lint_check.py) see one TU or
+one line at a time, this tool merges per-TU summaries into a program
+model and checks *cross-file* contracts: the sequential-capability
+reachability invariant, lock coverage of mutex-owning classes,
+order-dependent float accumulation in worker lambdas, and Tick
+narrowing. See DESIGN.md §11 and tools/analyzer/ir.py.
+
+Frontends: `--frontend=clang` uses libclang via clang.cindex driven by
+compile_commands.json (full fidelity; exits 77 when libclang is
+missing so ctest reports SKIP); `--frontend=lite` uses the bundled
+tokenizer scanner (always available); `auto` picks clang when usable.
+
+Exit codes: 0 clean / matches baseline; 1 deviations from baseline;
+2 usage or internal error; 77 requested frontend unavailable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import cache as cache_mod  # noqa: E402
+import fixtures  # noqa: E402
+import frontend_clang  # noqa: E402
+import frontend_lite  # noqa: E402
+import ir  # noqa: E402
+import passes as passes_mod  # noqa: E402
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+EXIT_SKIP = 77
+
+TOOL_VERSION = "1"  # folded into cache keys via SUMMARY_VERSION bumps
+
+
+def _source_files(root: pathlib.Path) -> list[str]:
+    out = []
+    for sub in ("src",):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in (".cc", ".hh") and p.is_file():
+                out.append(p.relative_to(root).as_posix())
+    return out
+
+
+def _pick_frontend(requested: str, build_dir: pathlib.Path) -> str:
+    if requested == "lite":
+        return "lite"
+    reason = frontend_clang.available()
+    have_ccj = (build_dir / "compile_commands.json").is_file()
+    if requested == "clang":
+        if reason:
+            print(f"chopin-analyze: SKIP: clang frontend unavailable "
+                  f"({reason})", file=sys.stderr)
+            sys.exit(EXIT_SKIP)
+        if not have_ccj:
+            print(f"chopin-analyze: SKIP: no compile_commands.json in "
+                  f"{build_dir}", file=sys.stderr)
+            sys.exit(EXIT_SKIP)
+        return "clang"
+    return "clang" if reason is None and have_ccj else "lite"
+
+
+def analyze(root: pathlib.Path, build_dir: pathlib.Path, frontend: str,
+            summary_cache, only: list[str] | None = None):
+    """Run the frontends + passes; returns (findings, stats)."""
+    files = _source_files(root)
+    summaries: list[dict] = []
+    compile_args: dict[str, list[str]] = {}
+    if frontend == "clang":
+        compile_args = frontend_clang.load_compile_commands(build_dir)
+
+    parsed = 0
+    for rel in files:
+        content = (root / rel).read_bytes()
+        summary = summary_cache.get(content)
+        if summary is None:
+            if frontend == "clang":
+                if rel.endswith(".hh"):
+                    continue  # headers arrive through including TUs
+                args = compile_args.get(str((root / rel).resolve()))
+                if args is None:
+                    continue  # not in the build: compile_commands
+                    # coverage ctest reports this separately
+                summary = frontend_clang.parse_file(root, rel, args)
+            else:
+                summary = frontend_lite.parse_file(root, rel)
+            summary_cache.put(content, summary)
+            parsed += 1
+        summaries.append(summary)
+
+    model = ir.merge(summaries)
+    findings = passes_mod.run_passes(model, only)
+    stats = {
+        "files": len(files),
+        "parsed": parsed,
+        "cache_hits": summary_cache.hits,
+        "cache_misses": summary_cache.misses,
+        "functions": len(model.functions),
+        "classes": len(model.classes),
+    }
+    return findings, stats
+
+
+def _load_baseline(path: pathlib.Path) -> set[tuple[str, str, str]]:
+    if not path.is_file():
+        return set()
+    data = json.loads(path.read_text())
+    return {(e["rule"], e["file"], e["key"])
+            for e in data.get("findings", [])}
+
+
+def _write_baseline(path: pathlib.Path, findings) -> None:
+    data = {
+        "comment": "chopin-analyze baseline: accepted findings, matched "
+                   "by (rule, file, key) — line numbers are not part of "
+                   "the identity. Keep this empty; prefer fixing or "
+                   "inline-suppressing findings.",
+        "findings": [{"rule": f.rule, "file": f.file, "key": f.key}
+                     for f in findings],
+    }
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def run_self_test(frontend_req: str, verbose: bool) -> int:
+    """Materialize the fixture tree and check every expectation."""
+    failures: list[str] = []
+    frontends = []
+    if frontend_req in ("lite", "auto"):
+        frontends.append("lite")
+    if frontend_req == "clang" or \
+            (frontend_req == "auto" and
+             frontend_clang.available() is None):
+        frontends.append("clang")
+    if frontend_req == "clang" and frontend_clang.available():
+        print(f"chopin-analyze: SKIP: {frontend_clang.available()}",
+              file=sys.stderr)
+        return EXIT_SKIP
+
+    for fe in frontends:
+        with tempfile.TemporaryDirectory(prefix="chopin-analyze-") as tmp:
+            tmpdir = pathlib.Path(tmp)
+            fixtures.materialize(tmpdir)
+            cache_dir = tmpdir / "cache"
+            # Two runs: cold, then warm (must hit cache, same findings).
+            sc = cache_mod.SummaryCache(cache_dir, fe)
+            findings, stats = analyze(tmpdir, tmpdir / "build", fe, sc)
+            sc2 = cache_mod.SummaryCache(cache_dir, fe)
+            findings2, stats2 = analyze(tmpdir, tmpdir / "build", fe, sc2)
+            if stats2["cache_hits"] == 0:
+                failures.append(f"[{fe}] warm run had no cache hits")
+            k = {(f.rule, f.file, f.key) for f in findings}
+            k2 = {(f.rule, f.file, f.key) for f in findings2}
+            if k != k2:
+                failures.append(f"[{fe}] warm-run findings differ from "
+                                f"cold run")
+            failures.extend(f"[{fe}] {m}" for m in fixtures.check(findings))
+            if verbose:
+                for f in findings:
+                    print(f"[{fe}] {f.file}:{f.line}: {f.rule}: "
+                          f"{f.message}")
+                print(f"[{fe}] stats: {stats}")
+
+    if failures:
+        for m in failures:
+            print(f"chopin-analyze self-test FAIL: {m}", file=sys.stderr)
+        return EXIT_FINDINGS
+    print(f"chopin-analyze self-test OK "
+          f"({', '.join(frontends)} frontend"
+          f"{'s' if len(frontends) > 1 else ''}, "
+          f"{len(fixtures.EXPECTATIONS)} expectations)")
+    return EXIT_OK
+
+
+def main(argv: list[str] | None = None) -> int:
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    ap = argparse.ArgumentParser(prog="chopin-analyze",
+                                 description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=pathlib.Path, default=repo_root)
+    ap.add_argument("--build-dir", type=pathlib.Path, default=None,
+                    help="build tree containing compile_commands.json "
+                         "(default: <root>/build)")
+    ap.add_argument("--frontend", choices=("auto", "clang", "lite"),
+                    default="auto")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="write the JSON report here")
+    ap.add_argument("--baseline", type=pathlib.Path, default=None,
+                    help="baseline file (default: tools/analyzer/"
+                         "baseline.json)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from current findings")
+    ap.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                    help="summary cache directory (default: "
+                         "<build-dir>/.chopin-analyze-cache)")
+    ap.add_argument("--no-cache", action="store_true")
+    ap.add_argument("--pass", dest="only", action="append",
+                    choices=sorted(passes_mod.PASSES),
+                    help="run only this pass (repeatable)")
+    ap.add_argument("--list-passes", action="store_true")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run against the bundled fixture tree")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_passes:
+        for name in sorted(passes_mod.PASSES):
+            doc = (passes_mod.PASSES[name].__doc__ or "").splitlines()[0]
+            print(f"{name:14} {doc}")
+        return EXIT_OK
+
+    if args.self_test:
+        return run_self_test(args.frontend, args.verbose)
+
+    root = args.root.resolve()
+    build_dir = (args.build_dir or root / "build").resolve()
+    frontend = _pick_frontend(args.frontend, build_dir)
+    baseline_path = args.baseline or \
+        root / "tools" / "analyzer" / "baseline.json"
+
+    if args.no_cache:
+        summary_cache = cache_mod.NullCache()
+    else:
+        cache_dir = args.cache_dir or build_dir / ".chopin-analyze-cache"
+        summary_cache = cache_mod.SummaryCache(cache_dir, frontend)
+
+    try:
+        findings, stats = analyze(root, build_dir, frontend, summary_cache,
+                                  args.only)
+    except Exception as e:  # noqa: BLE001 — report, don't traceback-spam
+        if args.verbose:
+            raise
+        print(f"chopin-analyze: error: {e}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.update_baseline:
+        _write_baseline(baseline_path, findings)
+        print(f"chopin-analyze: baseline updated "
+              f"({len(findings)} findings)")
+        return EXIT_OK
+
+    baseline = _load_baseline(baseline_path)
+    current = {(f.rule, f.file, f.key) for f in findings}
+    new = [f for f in findings if (f.rule, f.file, f.key) not in baseline]
+    stale = sorted(baseline - current)
+
+    report = {
+        "tool": "chopin-analyze",
+        "version": TOOL_VERSION,
+        "frontend": frontend,
+        "root": str(root),
+        "stats": stats,
+        "findings": [f.to_json() for f in findings],
+        "new": [f.to_json() for f in new],
+        "stale_baseline": [{"rule": r, "file": fi, "key": k}
+                           for r, fi, k in stale],
+    }
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+
+    for f in new:
+        print(f"{f.file}:{f.line}: [{f.rule}] {f.message}")
+    for r, fi, k in stale:
+        print(f"stale baseline entry (no longer reported): "
+              f"[{r}] {fi} :: {k}")
+    if args.verbose:
+        print(f"chopin-analyze: frontend={frontend} {stats}")
+
+    if new or stale:
+        print(f"chopin-analyze: {len(new)} new finding(s), {len(stale)} "
+              f"stale baseline entr(y/ies) — fix, suppress inline, or "
+              f"run --update-baseline", file=sys.stderr)
+        return EXIT_FINDINGS
+    print(f"chopin-analyze: OK ({stats['files']} files, "
+          f"{len(findings)} baselined finding(s), frontend={frontend})")
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

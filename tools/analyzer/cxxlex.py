@@ -1,0 +1,173 @@
+"""Minimal C++ lexer for the lite analyzer frontend.
+
+Produces a flat token stream with source lines, with comments and string
+bodies stripped, so the structural scanner in frontend_lite.py never
+trips over quoted braces or commented-out code. This is *not* a compiler
+lexer: it only guarantees the properties the analyzer needs —
+
+  - tokens carry their 1-based source line;
+  - // and /* */ comments are consumed (but `// chopin-analyze: allow(..)`
+    suppression comments are reported separately, per line);
+  - string/char literals (including raw strings) collapse to a single
+    STR token, so braces and parens inside literals never unbalance the
+    scanner;
+  - preprocessor directives (#include, #if, ...) are consumed whole,
+    including continuation lines, and do not appear in the stream.
+
+Everything else — identifiers, numbers, punctuation — comes through as-is.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+ID = "id"
+NUM = "num"
+STR = "str"
+PUNCT = "punct"
+
+ALLOW_RE = re.compile(
+    r"//\s*chopin-analyze:\s*allow\((?P<rules>[\w,\- ]+)\)")
+
+# Multi-character operators the scanner cares about (longest first).
+_PUNCTS = [
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "=",
+]
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyz"
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_ID_CONT = _ID_START | set("0123456789")
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+def lex(source: str) -> tuple[list[Token], dict[int, list[str]]]:
+    """Tokenize @p source.
+
+    @return (tokens, suppressions) where suppressions maps a 1-based line
+            number to the rule names allowed on that line via
+            `// chopin-analyze: allow(rule[, rule...])` comments.
+    """
+    tokens: list[Token] = []
+    suppressions: dict[int, list[str]] = {}
+    i, n = 0, len(source)
+    line = 1
+
+    def record_allow(comment: str, at: int) -> None:
+        m = ALLOW_RE.search(comment)
+        if m:
+            rules = [r.strip() for r in m.group("rules").split(",")]
+            suppressions.setdefault(at, []).extend(r for r in rules if r)
+
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Line comment.
+        if c == "/" and i + 1 < n and source[i + 1] == "/":
+            end = source.find("\n", i)
+            end = n if end == -1 else end
+            record_allow(source[i:end], line)
+            i = end
+            continue
+        # Block comment.
+        if c == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            end = n - 2 if end == -1 else end
+            record_allow(source[i:end + 2], line)
+            line += source.count("\n", i, end + 2)
+            i = end + 2
+            continue
+        # Preprocessor directive: only when # starts the line (ignoring
+        # leading whitespace). Consume through continuations.
+        if c == "#":
+            j = i - 1
+            at_line_start = True
+            while j >= 0 and source[j] != "\n":
+                if source[j] not in " \t":
+                    at_line_start = False
+                    break
+                j -= 1
+            if at_line_start:
+                while i < n:
+                    end = source.find("\n", i)
+                    if end == -1:
+                        i = n
+                        break
+                    # Continuation if the line ends with a backslash.
+                    k = end - 1
+                    while k >= 0 and source[k] in " \t\r":
+                        k -= 1
+                    cont = k >= 0 and source[k] == "\\"
+                    line += 1
+                    i = end + 1
+                    if not cont:
+                        break
+                continue
+        # Raw string literal: R"delim( ... )delim".
+        if c == "R" and i + 1 < n and source[i + 1] == '"':
+            m = re.match(r'R"([^\s()\\]{0,16})\(', source[i:])
+            if m:
+                delim = m.group(1)
+                close = ")" + delim + '"'
+                end = source.find(close, i + m.end())
+                end = n - len(close) if end == -1 else end
+                line += source.count("\n", i, end + len(close))
+                tokens.append(Token(STR, "<str>", line))
+                i = end + len(close)
+                continue
+        # String / char literal.
+        if c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and source[j] != quote:
+                if source[j] == "\\":
+                    j += 1
+                elif source[j] == "\n":
+                    break  # unterminated; tolerate
+                j += 1
+            tokens.append(Token(STR, "<str>" if quote == '"' else "<chr>",
+                                line))
+            i = j + 1
+            continue
+        # Identifier / keyword.
+        if c in _ID_START:
+            j = i + 1
+            while j < n and source[j] in _ID_CONT:
+                j += 1
+            tokens.append(Token(ID, source[i:j], line))
+            i = j
+            continue
+        # Number (good enough: consume digits, dots, exponents, suffixes).
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "._'"
+                             or (source[j] in "+-" and j > i and
+                                 source[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token(NUM, source[i:j], line))
+            i = j
+            continue
+        # Multi-char punctuation.
+        for p in _PUNCTS:
+            if source.startswith(p, i):
+                tokens.append(Token(PUNCT, p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token(PUNCT, c, line))
+            i += 1
+    return tokens, suppressions

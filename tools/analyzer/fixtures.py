@@ -1,0 +1,251 @@
+"""Self-test fixtures for chopin-analyze.
+
+A miniature chopin-like tree with one *injected* violation (and one
+clean twin, and one suppressed twin) per pass. The self-test
+materializes it into a tempdir, runs the full analysis, and checks
+every expectation below — so a pass that silently stops firing (or
+starts over-firing on the sanctioned patterns) fails the suite.
+
+The fixture compiles as real C++ (each .cc is self-contained), so the
+clang frontend can run the same expectations in CI; the generated
+compile_commands.json in materialize() covers that path.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+_STUBS_HH = """\
+#pragma once
+#include <atomic>
+#include <cstdint>
+
+#define CHOPIN_GUARDED_BY(x)
+#define CHOPIN_REQUIRES(...)
+
+using Tick = std::uint64_t;
+
+struct Mutex {};
+
+struct SequentialCap {
+  void assertHeld() const {}
+};
+
+struct ThreadPool {
+  template <typename F>
+  void parallelFor(unsigned n, F &&f) {
+    for (unsigned i = 0; i < n; ++i) f(i);
+  }
+  template <typename F>
+  void submit(F &&f) { f(); }
+};
+
+struct ScenarioRegion {
+  explicit ScenarioRegion(ThreadPool &) {}
+};
+
+struct EventQueue {
+  SequentialCap seq;
+  Tick now_ = 0;
+  Tick now() const {
+    seq.assertHeld();
+    return now_;
+  }
+};
+
+struct Net {
+  void drain(Tick upTo) CHOPIN_REQUIRES(seq);
+};
+"""
+
+_SEQ_REACH_CC = """\
+#include "stubs.hh"
+
+void Net::drain(Tick) {}
+
+inline Tick peekNow(EventQueue &q) { return q.now(); }
+
+void badFanout(ThreadPool &pool, EventQueue &q, Tick *out) {
+  pool.parallelFor(8, [&](unsigned i) {
+    out[i] = peekNow(q);  // VIOLATION seq-reach: reaches assertHeld
+  });
+}
+
+void badRequires(ThreadPool &pool, Net &net) {
+  pool.parallelFor(2, [&](unsigned) {
+    net.drain(0);  // VIOLATION seq-reach: CHOPIN_REQUIRES sink
+  });
+}
+
+void goodScenarioFanout(ThreadPool &pool, EventQueue &q, Tick *out) {
+  pool.parallelFor(4, [&, out](unsigned i) {
+    ScenarioRegion region(pool);  // self-owned simulation: legal
+    out[i] = q.now();
+  });
+}
+
+void suppressedFanout(ThreadPool &pool, EventQueue &q, Tick *out) {
+  // chopin-analyze: allow(seq-reach)
+  pool.parallelFor(2, [&](unsigned i) { out[i] = q.now(); });
+}
+
+void goodPureFanout(ThreadPool &pool, Tick *out) {
+  pool.parallelFor(8, [out](unsigned i) { out[i] = i * 2u; });
+}
+"""
+
+_LOCK_HH = """\
+#pragma once
+#include "stubs.hh"
+
+class Registry {
+ public:
+  int lookup(int k) const;
+
+ private:
+  mutable Mutex m;
+  int hits CHOPIN_GUARDED_BY(m) = 0;
+  const int capacity = 64;
+  std::atomic<int> misses{0};
+  int version = 0;  // VIOLATION lock-coverage: unguarded mutable member
+  // chopin-analyze: allow(lock-coverage)
+  int scratch = 0;  // documented protocol: touched only by lookup()
+};
+
+class NoMutex {  // no Mutex member: out of scope for lock-coverage
+  int anything = 0;
+};
+"""
+
+_LOCK_CC = """\
+#include "lock.hh"
+
+int Registry::lookup(int k) const { return k; }
+"""
+
+_DET_FLOAT_CC = """\
+#include "stubs.hh"
+
+void accumulate(ThreadPool &pool, const float *vals, unsigned n,
+                float *out) {
+  double total = 0.0;
+  pool.parallelFor(n, [&](unsigned i) {
+    total += vals[i];  // VIOLATION det-float: completion-order merge
+    out[i] += vals[i] * 2.0f;  // sanctioned: disjoint slot
+    float local = 0.0f;
+    local += vals[i];  // lambda-local: fine
+    (void)local;
+  });
+  double tolerated = 0.0;
+  pool.parallelFor(n, [&](unsigned i) {
+    // chopin-analyze: allow(det-float)
+    tolerated += vals[i];
+  });
+  (void)total;
+  (void)tolerated;
+}
+
+void sequentialSum(const float *vals, unsigned n) {
+  double total = 0.0;
+  for (unsigned i = 0; i < n; ++i) total += vals[i];  // not in a worker
+  (void)total;
+}
+"""
+
+_TICK_NARROW_CC = """\
+#include "stubs.hh"
+
+unsigned badTruncate(Tick t) {
+  unsigned lo = t;  // VIOLATION tick-narrow
+  unsigned ok = static_cast<unsigned>(t);
+  // chopin-analyze: allow(tick-narrow)
+  unsigned tolerated = t;
+  Tick widened = t + 1;
+  (void)ok;
+  (void)tolerated;
+  (void)widened;
+  return lo;
+}
+
+int badReturn(Tick t) {
+  return t;  // VIOLATION tick-narrow: narrow return
+}
+
+Tick goodReturn(Tick t) { return t + 1; }
+"""
+
+FIXTURE_FILES = {
+    "src/stubs.hh": _STUBS_HH,
+    "src/seq_reach.cc": _SEQ_REACH_CC,
+    "src/lock.hh": _LOCK_HH,
+    "src/lock.cc": _LOCK_CC,
+    "src/det_float.cc": _DET_FLOAT_CC,
+    "src/tick_narrow.cc": _TICK_NARROW_CC,
+}
+
+# (rule, file, fragment-of-key-or-message, should_fire)
+EXPECTATIONS = [
+    ("seq-reach", "src/seq_reach.cc", "EventQueue::now", True),
+    ("seq-reach", "src/seq_reach.cc", "Net::drain", True),
+    ("seq-reach", "src/seq_reach.cc", "goodScenarioFanout", False),
+    ("seq-reach", "src/seq_reach.cc", "suppressedFanout", False),
+    ("seq-reach", "src/seq_reach.cc", "goodPureFanout", False),
+    ("lock-coverage", "src/lock.hh", "Registry::version", True),
+    ("lock-coverage", "src/lock.hh", "Registry::hits", False),
+    ("lock-coverage", "src/lock.hh", "Registry::capacity", False),
+    ("lock-coverage", "src/lock.hh", "Registry::misses", False),
+    ("lock-coverage", "src/lock.hh", "Registry::scratch", False),
+    ("lock-coverage", "src/lock.hh", "NoMutex", False),
+    ("det-float", "src/det_float.cc", "total+=", True),
+    ("det-float", "src/det_float.cc", "out[i]", False),
+    ("det-float", "src/det_float.cc", "local", False),
+    ("det-float", "src/det_float.cc", "tolerated", False),
+    ("tick-narrow", "src/tick_narrow.cc", "initializes unsigned 'lo'",
+     True),
+    ("tick-narrow", "src/tick_narrow.cc", "returned as int", True),
+    ("tick-narrow", "src/tick_narrow.cc", "tolerated", False),
+    ("tick-narrow", "src/tick_narrow.cc", "widened", False),
+    ("tick-narrow", "src/tick_narrow.cc", "goodReturn", False),
+]
+
+
+def materialize(dst: pathlib.Path) -> None:
+    """Write the fixture tree (and a compile_commands.json for the clang
+    frontend) under @p dst."""
+    for rel, text in FIXTURE_FILES.items():
+        p = dst / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+    build = dst / "build"
+    build.mkdir(exist_ok=True)
+    entries = []
+    for rel in FIXTURE_FILES:
+        if not rel.endswith(".cc"):
+            continue
+        entries.append({
+            "directory": str(dst),
+            "file": str(dst / rel),
+            "arguments": ["c++", "-std=c++17", f"-I{dst / 'src'}",
+                          "-c", str(dst / rel), "-o", "/dev/null"],
+        })
+    (build / "compile_commands.json").write_text(json.dumps(entries))
+
+
+def check(findings: list) -> list[str]:
+    """Evaluate EXPECTATIONS against analyzer findings; returns a list of
+    failure messages (empty on success)."""
+    failures: list[str] = []
+    for rule, file, fragment, should_fire in EXPECTATIONS:
+        hits = [f for f in findings
+                if f.rule == rule and f.file == file and
+                (fragment in f.key or fragment in f.message)]
+        if should_fire and not hits:
+            failures.append(
+                f"expected {rule} finding matching '{fragment}' in "
+                f"{file}, got none")
+        elif not should_fire and hits:
+            failures.append(
+                f"unexpected {rule} finding matching '{fragment}' in "
+                f"{file}: {hits[0].message}")
+    return failures

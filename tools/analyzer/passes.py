@@ -1,0 +1,253 @@
+"""Analysis passes for chopin-analyze.
+
+Each pass is a function `(model: ir.ProgramModel) -> list[Finding]`
+registered in PASSES, mirroring the Rule registry in tools/lint_check.py.
+Findings carry a *stable key* — derived from qualified names, never line
+numbers — so the baseline (baseline.json) survives unrelated edits.
+
+Suppression: a `// chopin-analyze: allow(rule)` comment on the finding
+line or the line directly above silences it (the lexer reports comment
+lines; a comment above a declaration is the idiomatic placement).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import ir
+
+
+@dataclasses.dataclass
+class Finding:
+    rule: str
+    file: str
+    line: int
+    key: str      # stable identity for baseline matching (no line numbers)
+    message: str
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _suppressed(model: ir.ProgramModel, rule: str, file: str,
+                line: int) -> bool:
+    return model.allowed(rule, file, line) or \
+        model.allowed(rule, file, line - 1)
+
+
+# ---------------------------------------------------------------------------
+# seq-reach
+
+
+def _node_label(f: dict) -> str:
+    return f.get("qualname") or f["name"]
+
+
+def seq_reach(model: ir.ProgramModel) -> list[Finding]:
+    """No sequential-only function may be reachable from a worker lambda.
+
+    Roots: every lambda recorded as a parallel_callback of some function
+    (passed to ThreadPool::parallelFor or ThreadPool::submit). Traversal
+    follows resolved calls and lexically nested lambdas, and stops at any
+    node that constructs a ScenarioRegion — such a node runs a private,
+    self-owned simulation where sequential state is legal (the sweep
+    engine's per-scenario stages).
+
+    Sinks: asserts_sequential (body calls SequentialCap::assertHeld /
+    assertSequential) or requires_sequential (CHOPIN_REQUIRES over the
+    sequential capability).
+    """
+    findings: list[Finding] = []
+
+    roots: list[tuple[dict, dict]] = []  # (owner function, lambda node)
+    for f in model.functions:
+        for cb in f.get("parallel_callbacks", []):
+            lam = model.by_id.get(cb["lambda_id"])
+            if lam is not None:
+                roots.append((f, lam))
+
+    def is_sink(f: dict) -> bool:
+        return bool(f.get("asserts_sequential") or
+                    f.get("requires_sequential"))
+
+    for owner, lam in roots:
+        if lam.get("scenario_barrier"):
+            continue
+        # BFS from the lambda, recording one witness path per sink.
+        seen = {lam["id"]}
+        queue: list[tuple[dict, list[str]]] = [(lam, [_node_label(lam)])]
+        reported: set[str] = set()
+        while queue:
+            node, path = queue.pop(0)
+            for call in node.get("calls", []):
+                # Lexically nested lambdas traverse via their id.
+                if "lambda_id" in call:
+                    targets = [model.by_id[call["lambda_id"]]] \
+                        if call["lambda_id"] in model.by_id else []
+                else:
+                    targets = ir.resolve_call(model, call)
+                for tgt in targets:
+                    if tgt["id"] in seen:
+                        continue
+                    seen.add(tgt["id"])
+                    tpath = path + [_node_label(tgt)]
+                    if is_sink(tgt):
+                        key = f"{_node_label(owner)}::<worker>" \
+                              f"->{_node_label(tgt)}"
+                        if key in reported:
+                            continue
+                        reported.add(key)
+                        if _suppressed(model, "seq-reach", lam["file"],
+                                       lam["line"]):
+                            continue
+                        findings.append(Finding(
+                            rule="seq-reach",
+                            file=lam["file"],
+                            line=lam["line"],
+                            key=key,
+                            message=(
+                                f"worker lambda (passed to ThreadPool in "
+                                f"{_node_label(owner)}) reaches "
+                                f"sequential-only {_node_label(tgt)} via "
+                                f"{' -> '.join(tpath)}"),
+                        ))
+                        continue  # do not traverse past a sink
+                    if tgt.get("scenario_barrier"):
+                        continue  # self-owned simulation; legal
+                    queue.append((tgt, tpath))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# lock-coverage
+
+
+def lock_coverage(model: ir.ProgramModel) -> list[Finding]:
+    """Every mutable data member of a Mutex-owning class must be
+    CHOPIN_GUARDED_BY-annotated (or suppressed with a documented
+    protocol)."""
+    findings: list[Finding] = []
+    for c in model.classes:
+        if not c.get("mutex_members"):
+            continue
+        for m in c.get("members", []):
+            if m.get("is_const") or m.get("is_static") or \
+                    m.get("is_sync") or m.get("is_capability"):
+                continue
+            if m.get("guarded_by"):
+                continue
+            if _suppressed(model, "lock-coverage", c["file"], m["line"]):
+                continue
+            findings.append(Finding(
+                rule="lock-coverage",
+                file=c["file"],
+                line=m["line"],
+                key=f"{c['qualname']}::{m['name']}",
+                message=(
+                    f"member '{m['name']}' of mutex-owning class "
+                    f"{c['qualname']} is neither CHOPIN_GUARDED_BY-"
+                    f"annotated nor const/atomic; annotate it or add "
+                    f"'// chopin-analyze: allow(lock-coverage)' with the "
+                    f"protocol that makes it safe"),
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# det-float
+
+
+def det_float(model: ir.ProgramModel) -> list[Finding]:
+    """Order-dependent floating-point accumulation inside worker lambdas.
+
+    A compound float assignment (+=, -=, *=, /=) whose target is captured
+    by reference (not declared in the lambda) and not subscripted by a
+    per-item index is merged in worker-completion order — it breaks the
+    bit-identical `--jobs` invariance gates. `out[i] += v` into disjoint
+    slots is the sanctioned pattern and is not flagged.
+    """
+    # Collect ids of parallel-callback lambdas and everything lexically
+    # nested inside them.
+    par_ids: set[str] = set()
+    for f in model.functions:
+        for cb in f.get("parallel_callbacks", []):
+            par_ids.add(cb["lambda_id"])
+    changed = True
+    while changed:
+        changed = False
+        for f in model.functions:
+            if f.get("kind") == "lambda" and f["id"] not in par_ids and \
+                    f.get("enclosing") in par_ids:
+                par_ids.add(f["id"])
+                changed = True
+
+    findings: list[Finding] = []
+    for f in model.functions:
+        if f["id"] not in par_ids:
+            continue
+        if not f.get("captures_ref"):
+            continue
+        for w in f.get("compound_float_writes", []):
+            if w.get("local") or w.get("subscripted"):
+                continue
+            if _suppressed(model, "det-float", f["file"], w["line"]):
+                continue
+            findings.append(Finding(
+                rule="det-float",
+                file=f["file"],
+                line=w["line"],
+                key=f"{f.get('qualname', f['name'])}:{w['target']}"
+                    f"{w['op']}",
+                message=(
+                    f"float accumulation '{w['target']} {w['op']} ...' "
+                    f"into reference-captured state inside a worker "
+                    f"lambda is merged in completion order; accumulate "
+                    f"into a per-chunk slot and reduce sequentially"),
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# tick-narrow
+
+
+def tick_narrow(model: ir.ProgramModel) -> list[Finding]:
+    """Implicit conversions of Tick/Bytes sim-time integers to narrower
+    or floating destinations (silent truncation past ~2^32 ticks)."""
+    findings: list[Finding] = []
+    for f in model.functions:
+        for nc in f.get("narrow_conversions", []):
+            if _suppressed(model, "tick-narrow", f["file"], nc["line"]):
+                continue
+            findings.append(Finding(
+                rule="tick-narrow",
+                file=f["file"],
+                line=nc["line"],
+                key=f"{f.get('qualname', f['name'])}:{nc['dst']}:"
+                    f"{nc['detail']}",
+                message=(
+                    f"implicit {nc['src']} -> {nc['dst']} conversion in "
+                    f"{f.get('qualname', f['name'])}: {nc['detail']}; "
+                    f"use static_cast if the narrowing is intended"),
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+
+PASSES = {
+    "seq-reach": seq_reach,
+    "lock-coverage": lock_coverage,
+    "det-float": det_float,
+    "tick-narrow": tick_narrow,
+}
+
+
+def run_passes(model: ir.ProgramModel,
+               only: list[str] | None = None) -> list[Finding]:
+    names = only or sorted(PASSES)
+    out: list[Finding] = []
+    for name in names:
+        out.extend(PASSES[name](model))
+    out.sort(key=lambda f: (f.file, f.line, f.rule, f.key))
+    return out

@@ -53,9 +53,16 @@ remediation recipe of each finding):
                 JsonWriter / writeMetricsJson in stats/report.hh) so every
                 harness emits one schema instead of hand-rolled prints.
 
+  stale-allow   Every `// chopin-lint: allow(...)` must still be doing
+                work: naming a rule that exists, applies to the file, and
+                fires on that line. Suppressions outlive refactors; this
+                rule flags the leftovers so the allow-list stays an exact
+                map of the accepted exceptions.
+
 Suppressions: append `// chopin-lint: allow(<rule>[, <rule>...])` to the
 offending line with a comment justifying it (the legacy spelling
-`// lint:allow(...)` is still honored).
+`// lint:allow(...)` is still honored). A prophylactic suppression that
+must survive refactors can carry `stale-allow` itself in the rule list.
 
 Usage:
 
@@ -365,13 +372,45 @@ RULES = [
 ]
 
 
+# --- stale-allow ----------------------------------------------------------
+# Not a Rule: it inspects the suppression comment against the *other*
+# rules' outcomes on the same line, which the (code)->message signature
+# cannot express.
+
+STALE_RULE = "stale-allow"
+STALE_SUMMARY = "every chopin-lint suppression still matches a diagnostic"
+STALE_FIX_HINT = ("delete the stale `// chopin-lint: allow(...)` comment "
+                  "(or the one rule name in it that no longer fires); if "
+                  "the suppression is intentionally prophylactic, add "
+                  "'stale-allow' to its rule list with a justification")
+
+
+def stale_allow_findings(rel: str, code: str, comment: str) -> list[str]:
+    """Messages for suppressions on this line that no longer do work."""
+    m = ALLOW_RE.search(comment)
+    if not m:
+        return []
+    names = [r.strip() for r in m.group("rules").split(",") if r.strip()]
+    if STALE_RULE in names:
+        return []  # explicitly prophylactic
+    known = {r.name for r in RULES}
+    fired = {r.name for r in RULES if r.applies(rel) and r.check(code)}
+    out = []
+    for name in names:
+        if name not in known:
+            out.append(f"suppression names unknown rule '{name}'")
+        elif name not in fired:
+            out.append(
+                f"stale suppression: rule '{name}' does not fire on this "
+                f"line (out of scope for {rel} or no longer matching)")
+    return out
+
+
 # --- driver ---------------------------------------------------------------
 
 
 def lint_file(path: pathlib.Path, rel: str) -> list[dict]:
     rules = [r for r in RULES if r.applies(rel)]
-    if not rules:
-        return []
     violations = []
     in_block_comment = False
     for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
@@ -382,6 +421,9 @@ def lint_file(path: pathlib.Path, rel: str) -> list[dict]:
             if message and not allowed(comment, rule.name):
                 violations.append({"file": rel, "line": lineno,
                                    "rule": rule.name, "message": message})
+        for message in stale_allow_findings(rel, code, comment):
+            violations.append({"file": rel, "line": lineno,
+                               "rule": STALE_RULE, "message": message})
     return violations
 
 
@@ -404,11 +446,12 @@ def run_lint(root: pathlib.Path, json_out: str | None,
             violations += lint_file(path, path.relative_to(root).as_posix())
 
     hint_by_rule = {r.name: r.fix_hint for r in RULES}
+    hint_by_rule[STALE_RULE] = STALE_FIX_HINT
     for v in violations:
         print(f"{v['file']}:{v['line']}: [{v['rule']}] {v['message']}")
         if fix_hints:
             print(f"    hint: {hint_by_rule[v['rule']]}")
-    print(f"lint_check: {files} files, {len(RULES)} rules, "
+    print(f"lint_check: {files} files, {len(RULES) + 1} rules, "
           f"{len(violations)} violation(s)")
 
     if json_out:
@@ -417,7 +460,9 @@ def run_lint(root: pathlib.Path, json_out: str | None,
             "root": str(root),
             "files": files,
             "rules": [{"name": r.name, "summary": r.summary,
-                       "fix_hint": r.fix_hint} for r in RULES],
+                       "fix_hint": r.fix_hint} for r in RULES] +
+                     [{"name": STALE_RULE, "summary": STALE_SUMMARY,
+                       "fix_hint": STALE_FIX_HINT}],
             "violations": violations,
         }
         pathlib.Path(json_out).write_text(json.dumps(report, indent=2) + "\n")
@@ -493,6 +538,27 @@ SELFTEST_CASES = [
      "int x = rand(); // lint:allow(rng)", False),
 ]
 
+# stale-allow cases run through stale_allow_findings directly (the rule
+# reads the suppression comment, not the code).
+STALE_SELFTEST_CASES = [
+    # (rel path, line, should fire?)
+    ("src/gfx/raster.cc",
+     "int x = rand(); // chopin-lint: allow(rng)", False),  # still earning
+    ("src/gfx/raster.cc",
+     "int x = 3; // chopin-lint: allow(rng)", True),  # no longer fires
+    ("src/gfx/raster.cc",
+     "int x = 3; // chopin-lint: allow(no-such-rule)", True),  # unknown
+    ("bench/common.cc",
+     "r = runScheme(s, cfg, t); // chopin-lint: allow(bench-runscheme)",
+     True),  # harness layer is out of the rule's scope: suppression inert
+    ("src/gfx/raster.cc",
+     "int x = 3; // chopin-lint: allow(stale-allow, rng)",
+     False),  # prophylactic, explicitly marked
+    ("src/gfx/raster.cc",
+     "int x = 3; // lint:allow(rng)", True),  # legacy spelling checked too
+    ("src/gfx/raster.cc", "int x = 3;", False),  # no suppression at all
+]
+
 
 def self_test() -> int:
     failures = 0
@@ -513,6 +579,16 @@ def self_test() -> int:
     for r in RULES:
         if not any(c[0] == r.name and c[3] for c in SELFTEST_CASES):
             print(f"self-test FAIL: rule {r.name} has no firing case")
+            failures += 1
+    for rel, line, should_fire in STALE_SELFTEST_CASES:
+        code, comment, _ = strip_comments_and_strings(line, False)
+        fired = bool(stale_allow_findings(rel, code, comment))
+        if fired == should_fire:
+            verdict = "fires on" if should_fire else "passes"
+            print(f"self-test ok: [{STALE_RULE}] {verdict} {line!r}")
+        else:
+            print(f"self-test FAIL: [{STALE_RULE}] {line!r} in {rel}: "
+                  f"fired={fired}, expected {should_fire}")
             failures += 1
     print(f"lint_check self-test: {failures} failure(s)")
     return 1 if failures else 0
@@ -537,6 +613,7 @@ def main(argv: list[str]) -> int:
     if args.list_rules:
         for r in RULES:
             print(f"{r.name:<13} {r.summary}")
+        print(f"{STALE_RULE:<13} {STALE_SUMMARY}")
         return 0
     if args.self_test:
         return self_test()
