@@ -81,7 +81,7 @@ struct ThreadPool::Impl
     std::size_t n = 0;      // chopin-analyze: allow(lock-coverage)
     std::size_t grain = 1;  // chopin-analyze: allow(lock-coverage)
     std::size_t chunks = 0; // chopin-analyze: allow(lock-coverage)
-    const RangeFn *fn = nullptr;
+    const RangeFn *fn = nullptr; // chopin-analyze: allow(lock-coverage)
 
     std::atomic<std::size_t> next_chunk{0}; ///< dynamic chunk tickets
 

@@ -1,10 +1,12 @@
 """Content-hash summary cache for chopin-analyze.
 
 Warm runs are incremental: each source file's TU summary is stored as
-JSON keyed by sha256(file bytes) + frontend name + SUMMARY_VERSION, so
-editing one file re-parses only that file. The key is pure content —
-no mtimes — which makes the cache safe to share across checkouts and
-trivially correct under git operations that rewrite timestamps.
+JSON keyed by sha256(repo-relative path + file bytes) + frontend name +
+SUMMARY_VERSION, so editing one file re-parses only that file. The key
+carries no mtimes — safe to share across checkouts and trivially
+correct under git operations that rewrite timestamps — but it does fold
+in the path: summaries embed the file path (node ids, suppression
+keys), so two byte-identical files must not share an entry.
 """
 
 from __future__ import annotations
@@ -24,17 +26,17 @@ class SummaryCache:
         self.misses = 0
         self.dir.mkdir(parents=True, exist_ok=True)
 
-    def _key(self, content: bytes) -> str:
+    def _key(self, rel: str, content: bytes) -> str:
         h = hashlib.sha256()
-        h.update(f"v{ir.SUMMARY_VERSION}:{self.frontend}:".encode())
+        h.update(f"v{ir.SUMMARY_VERSION}:{self.frontend}:{rel}:".encode())
         h.update(content)
         return h.hexdigest()
 
     def _path(self, key: str) -> pathlib.Path:
         return self.dir / f"{key}.json"
 
-    def get(self, content: bytes) -> dict | None:
-        p = self._path(self._key(content))
+    def get(self, rel: str, content: bytes) -> dict | None:
+        p = self._path(self._key(rel, content))
         if not p.is_file():
             self.misses += 1
             return None
@@ -46,8 +48,8 @@ class SummaryCache:
         self.hits += 1
         return summary
 
-    def put(self, content: bytes, summary: dict) -> None:
-        p = self._path(self._key(content))
+    def put(self, rel: str, content: bytes, summary: dict) -> None:
+        p = self._path(self._key(rel, content))
         tmp = p.with_suffix(".tmp")
         tmp.write_text(json.dumps(summary, sort_keys=True))
         tmp.replace(p)
@@ -60,9 +62,9 @@ class NullCache:
         self.hits = 0
         self.misses = 0
 
-    def get(self, content: bytes) -> dict | None:
+    def get(self, rel: str, content: bytes) -> dict | None:
         self.misses += 1
         return None
 
-    def put(self, content: bytes, summary: dict) -> None:
+    def put(self, rel: str, content: bytes, summary: dict) -> None:
         pass

@@ -85,7 +85,7 @@ def analyze(root: pathlib.Path, build_dir: pathlib.Path, frontend: str,
     parsed = 0
     for rel in files:
         content = (root / rel).read_bytes()
-        summary = summary_cache.get(content)
+        summary = summary_cache.get(rel, content)
         if summary is None:
             if frontend == "clang":
                 if rel.endswith(".hh"):
@@ -97,7 +97,7 @@ def analyze(root: pathlib.Path, build_dir: pathlib.Path, frontend: str,
                 summary = frontend_clang.parse_file(root, rel, args)
             else:
                 summary = frontend_lite.parse_file(root, rel)
-            summary_cache.put(content, summary)
+            summary_cache.put(rel, content, summary)
             parsed += 1
         summaries.append(summary)
 
@@ -166,7 +166,8 @@ def run_self_test(frontend_req: str, verbose: bool) -> int:
             if k != k2:
                 failures.append(f"[{fe}] warm-run findings differ from "
                                 f"cold run")
-            failures.extend(f"[{fe}] {m}" for m in fixtures.check(findings))
+            failures.extend(f"[{fe}] {m}"
+                            for m in fixtures.check(findings, fe))
             if verbose:
                 for f in findings:
                     print(f"[{fe}] {f.file}:{f.line}: {f.rule}: "

@@ -49,6 +49,34 @@ class Token:
     line: int
 
 
+def effective_suppressions(
+        tokens: list[Token],
+        suppressions: dict[int, list[str]]) -> dict[int, list[str]]:
+    """Resolve raw suppression-comment lines into the lines they govern.
+
+    A suppression comment sharing its line with code governs that line
+    only; a *comment-only* line additionally governs the following line
+    (the idiomatic comment-above-declaration placement). Restricting the
+    line-above behaviour to comment-only lines keeps a trailing same-line
+    `// chopin-analyze: allow(...)` from silently covering the next
+    declaration as well.
+    """
+    code_lines = {t.line for t in tokens}
+    out: dict[int, list[str]] = {}
+
+    def add(line: int, rules: list[str]) -> None:
+        dst = out.setdefault(line, [])
+        for r in rules:
+            if r not in dst:
+                dst.append(r)
+
+    for line, rules in suppressions.items():
+        add(line, rules)
+        if line not in code_lines:
+            add(line + 1, rules)
+    return out
+
+
 def lex(source: str) -> tuple[list[Token], dict[int, list[str]]]:
     """Tokenize @p source.
 

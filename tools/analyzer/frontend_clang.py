@@ -106,8 +106,10 @@ class _TuWalker:
         self.rel = rel
         self.functions: list[dict] = []
         self.classes: list[dict] = []
-        self.suppressions: dict[str, list[str]] = {}
         self.lambda_counter = 0
+        # LAMBDA_EXPR cursor hash -> function node, so pool call sites can
+        # attach worker lambdas structurally (_attach_parallel).
+        self.lambda_nodes: dict[int, dict] = {}
 
     def _rel_of(self, cursor) -> str | None:
         loc = cursor.location
@@ -232,13 +234,20 @@ class _TuWalker:
         for c in cursor.get_children():
             if c.kind == ck.LAMBDA_EXPR:
                 lam = self._walk_lambda(c, node, rel)
+                self.lambda_nodes[c.hash] = lam
                 node["calls"].append({"name": "<lambda>", "receiver": "",
                                       "line": c.location.line,
                                       "lambda_id": lam["id"]})
                 continue
             if c.kind == ck.CALL_EXPR:
-                self._record_call(c, node)
-            elif c.kind == ck.COMPOUND_ASSIGNMENT_OPERATOR:
+                pool_callee = self._record_call(c, node)
+                # Walk the call's subtree first so any lambda arguments
+                # exist as nodes, then attach them structurally.
+                self._walk_body(c, node, rel)
+                if pool_callee:
+                    self._attach_parallel(c, node, pool_callee)
+                continue
+            if c.kind == ck.COMPOUND_ASSIGNMENT_OPERATOR:
                 self._record_compound(c, node)
             elif c.kind == ck.VAR_DECL:
                 self._record_var_decl(c, node)
@@ -260,11 +269,13 @@ class _TuWalker:
         self._walk_body(cursor, lam, rel)
         return lam
 
-    def _record_call(self, cursor, node: dict) -> None:
+    def _record_call(self, cursor, node: dict) -> str | None:
+        """Record a call edge; returns the callee simple name when the
+        call is a ThreadPool entry point (parallelFor/submit)."""
         ref = cursor.referenced
         name = cursor.spelling or (ref.spelling if ref else "")
         if not name:
-            return
+            return None
         qual = _qualname(ref) if ref is not None else name
         node["calls"].append({"name": qual or name, "receiver": "",
                               "line": cursor.location.line})
@@ -272,11 +283,35 @@ class _TuWalker:
         if simple in ("assertHeld", "assertSequential"):
             node["asserts_sequential"] = True
         if simple in ("parallelFor", "submit"):
-            # Lambda arguments are attached by line in
-            # _postprocess_parallel (children are walked after this call
-            # returns, so the lambda nodes do not exist yet).
-            node.setdefault("_parallel_lines", set()).add(
-                cursor.location.line)
+            return simple
+        return None
+
+    def _attach_parallel(self, call_cursor, node: dict,
+                         callee: str) -> None:
+        """Attach worker lambdas to a pool call site structurally: any
+        LAMBDA_EXPR inside the call expression, plus lambdas stored in a
+        local variable and passed by name (the DECL_REF_EXPR argument is
+        chased to its VAR_DECL initializer)."""
+        ck = _cindex.CursorKind
+        seen: set[int] = set()
+        stack = list(call_cursor.get_children())
+        while stack:
+            c = stack.pop()
+            if c.hash in seen:
+                continue
+            seen.add(c.hash)
+            if c.kind == ck.LAMBDA_EXPR:
+                lam = self.lambda_nodes.get(c.hash)
+                if lam is not None:
+                    node["parallel_callbacks"].append(
+                        {"callee": callee,
+                         "line": call_cursor.location.line,
+                         "lambda_id": lam["id"]})
+                continue  # the lambda body is its own node
+            if c.kind == ck.DECL_REF_EXPR and c.referenced is not None \
+                    and c.referenced.kind == ck.VAR_DECL:
+                stack.extend(c.referenced.get_children())
+            stack.extend(c.get_children())
 
     def _record_compound(self, cursor, node: dict) -> None:
         children = list(cursor.get_children())
@@ -384,21 +419,6 @@ def _within_current_lambda(decl, site) -> bool:
     return False
 
 
-def _postprocess_parallel(walker: _TuWalker) -> None:
-    """Attach lambdas to parallelFor/submit call sites by line match."""
-    for f in walker.functions:
-        lines = f.pop("_parallel_lines", set())
-        f.pop("_pending_parallel", None)
-        if not lines:
-            continue
-        for call in f["calls"]:
-            lam_id = call.get("lambda_id")
-            if lam_id and any(0 <= call["line"] - ln <= 8 for ln in lines):
-                f["parallel_callbacks"].append(
-                    {"callee": "parallelFor", "line": call["line"],
-                     "lambda_id": lam_id})
-
-
 def parse_file(root: pathlib.Path, rel: str,
                compile_args: list[str]) -> dict:
     """Parse one TU into a summary; raises RuntimeError on hard failure."""
@@ -411,20 +431,32 @@ def parse_file(root: pathlib.Path, rel: str,
                      PARSE_DETAILED_PROCESSING_RECORD)
     walker = _TuWalker(root.resolve(), rel)
     walker.walk(tu.cursor)
-    _postprocess_parallel(walker)
 
-    # Suppression comments come from the lexer (token stream includes
-    # comments only with the detailed-processing option; simpler and
-    # frontend-agnostic to reuse cxxlex on the main file).
+    # Suppression comments come from the lexer (simpler and
+    # frontend-agnostic to reuse cxxlex). A TU contributes entities from
+    # every in-repo header it includes, and findings on those entities
+    # carry the *header's* path — so every contributing file is lexed and
+    # suppressions are emitted keyed per file, not just for the main .cc.
     import cxxlex  # noqa: PLC0415
-    _toks, suppressions = cxxlex.lex((root / rel).read_text(
-        errors="replace"))
+    contributing = {rel}
+    contributing.update(f["file"] for f in walker.functions)
+    contributing.update(c["file"] for c in walker.classes)
+    supp_map: dict[str, dict[str, list[str]]] = {}
+    for frel in sorted(contributing):
+        try:
+            text = (root / frel).read_text(errors="replace")
+        except OSError:
+            continue
+        toks, raw = cxxlex.lex(text)
+        supp = cxxlex.effective_suppressions(toks, raw)
+        if supp:
+            supp_map[frel] = {str(k): v for k, v in supp.items()}
     return {
         "file": rel,
         "frontend": FRONTEND_NAME,
         "functions": walker.functions,
         "classes": walker.classes,
-        "suppressions": {str(k): v for k, v in suppressions.items()},
+        "suppressions": supp_map,
     }
 
 

@@ -826,10 +826,12 @@ def parse_file(root: pathlib.Path, rel: str) -> dict:
     tokens, suppressions = cxxlex.lex(text)
     p = _Parser(rel, tokens)
     p.parse()
+    supp = cxxlex.effective_suppressions(tokens, suppressions)
     return {
         "file": rel,
         "frontend": FRONTEND_NAME,
         "functions": p.functions,
         "classes": p.classes,
-        "suppressions": {str(k): v for k, v in suppressions.items()},
+        "suppressions": {rel: {str(k): v for k, v in supp.items()}}
+        if supp else {},
     }

@@ -14,8 +14,16 @@ TU summary schema (SUMMARY_VERSION bumps invalidate every cache entry):
     "frontend": "lite" | "clang",
     "functions": [FunctionSummary, ...],
     "classes": [ClassSummary, ...],
-    "suppressions": {"<line>": ["rule", ...]},
+    "suppressions": {"<file>": {"<line>": ["rule", ...]}},
   }
+
+Suppressions are keyed per *file* because a clang TU contributes
+entities from every header it includes: a `// chopin-analyze:
+allow(...)` comment in src/foo.hh must silence findings carrying the
+header's path, not the including .cc's. The line sets are already
+"effective" (cxxlex.effective_suppressions): a comment-only allow line
+is expanded onto the following line at lex time, so the passes test the
+finding line exactly.
 
 FunctionSummary:
   id                  unique node id: "<file>:<line>:<name-or-lambda#k>"
@@ -56,7 +64,7 @@ from __future__ import annotations
 
 import dataclasses
 
-SUMMARY_VERSION = 1
+SUMMARY_VERSION = 2
 
 # Simple-call names never resolved to program functions when the call has
 # an explicit receiver: these collide with std container/smart-pointer
@@ -132,12 +140,13 @@ def merge(summaries: list[dict]) -> ProgramModel:
             if prev is None or len(c.get("members", [])) > \
                     len(prev.get("members", [])):
                 classes[key] = c
-        for line_str, rules in s.get("suppressions", {}).items():
-            per_file = suppressions.setdefault(s["file"], {})
-            per_line = per_file.setdefault(int(line_str), [])
-            for r in rules:
-                if r not in per_line:
-                    per_line.append(r)
+        for file_str, lines in s.get("suppressions", {}).items():
+            per_file = suppressions.setdefault(file_str, {})
+            for line_str, rules in lines.items():
+                per_line = per_file.setdefault(int(line_str), [])
+                for r in rules:
+                    if r not in per_line:
+                        per_line.append(r)
 
     func_list = sorted(functions.values(), key=lambda f: f["id"])
     class_list = sorted(classes.values(),
@@ -152,15 +161,20 @@ def merge(summaries: list[dict]) -> ProgramModel:
 
     # Propagate requires_sequential from method *declarations* (headers)
     # onto the out-of-line definitions: match by qualname suffix
-    # "Class::name".
+    # "Class::name", anchored on a '::' boundary so a decl on `Net::drain`
+    # never marks an unrelated `WideNet::drain`.
     declared = [f for f in func_list if f.get("requires_sequential")]
     for decl in declared:
         suffix = decl.get("qualname") or decl["name"]
-        tail = suffix.split("::")[-2:] if "::" in suffix else [suffix]
-        needle = "::".join(tail)
-        for f in by_simple.get(decl["name"], []):
-            qn = f.get("qualname", "")
-            if qn.endswith(needle) or f["name"] == needle:
+        if "::" in suffix:
+            needle = "::".join(suffix.split("::")[-2:])
+            for f in by_simple.get(decl["name"], []):
+                qn = f.get("qualname", "")
+                if qn == needle or qn.endswith("::" + needle):
+                    f["requires_sequential"] = True
+        else:
+            # Free-function decl: the simple-name index IS the match.
+            for f in by_simple.get(decl["name"], []):
                 f["requires_sequential"] = True
 
     return ProgramModel(

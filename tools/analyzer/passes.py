@@ -6,8 +6,11 @@ Findings carry a *stable key* — derived from qualified names, never line
 numbers — so the baseline (baseline.json) survives unrelated edits.
 
 Suppression: a `// chopin-analyze: allow(rule)` comment on the finding
-line or the line directly above silences it (the lexer reports comment
-lines; a comment above a declaration is the idiomatic placement).
+line, or on a *comment-only* line directly above it, silences the
+finding. The comment-only expansion happens at lex time
+(cxxlex.effective_suppressions), so the passes test the finding line
+exactly — a trailing allow comment on one member never leaks onto the
+next declaration.
 """
 
 from __future__ import annotations
@@ -31,8 +34,7 @@ class Finding:
 
 def _suppressed(model: ir.ProgramModel, rule: str, file: str,
                 line: int) -> bool:
-    return model.allowed(rule, file, line) or \
-        model.allowed(rule, file, line - 1)
+    return model.allowed(rule, file, line)
 
 
 # ---------------------------------------------------------------------------
