@@ -1,0 +1,99 @@
+#include "net/partitioned_net.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hh"
+
+namespace chopin
+{
+
+PartitionedNet::PartitionedNet(Interconnect &net, ParallelEngine &engine)
+    : net_(net), engine_(engine), ports_(net.numGpus())
+{
+    // The conservative contract only holds if an effect produced inside an
+    // epoch cannot land before the epoch ends: delivery >= egress_begin +
+    // latency >= epoch start + latency >= epoch end requires
+    // lookahead <= latency (and a nonzero latency — ideal links cannot use
+    // the epoch path at all).
+    CHOPIN_CHECK(net.params().latency >= 1,
+                 "PartitionedNet requires a nonzero wire latency");
+    CHOPIN_CHECK(engine.lookahead() <= net.params().latency,
+                 "epoch lookahead ", engine.lookahead(),
+                 " exceeds wire latency ", net.params().latency,
+                 ": deliveries could land inside the sending epoch");
+    CHOPIN_CHECK(engine.numPartitions() >= net.numGpus(),
+                 "engine has ", engine.numPartitions(),
+                 " partitions for ", net.numGpus(), " GPUs");
+    for (GpuId g = 0; g < net.numGpus(); ++g)
+        ports_[g].cap.bind(static_cast<PartitionId>(g));
+    engine.addBarrierHook([this](Tick epoch_end) { commit(epoch_end); });
+}
+
+Tick
+PartitionedNet::send(GpuId src, GpuId dst, Bytes bytes, Tick earliest,
+                     TrafficClass cls, Callback on_delivery)
+{
+    CHOPIN_ASSERT(src < ports_.size() && dst < ports_.size() && src != dst,
+                  "bad transfer ", src, " -> ", dst);
+    Port &port = ports_[src];
+    port.cap.assertOnPartition("PartitionedNet::send");
+
+    Tick duration = net_.transferCycles(bytes);
+    Tick begin = std::max(earliest, port.egress.freeAt());
+    port.egress.claim(begin, duration);
+    port.outbox.push_back(Pending{begin, port.nextSeq++, dst, bytes, cls,
+                                  std::move(on_delivery)});
+    return begin + duration;
+}
+
+void
+PartitionedNet::commit(Tick epoch_end)
+{
+    // Coordinator-only (the engine runs barrier hooks between epochs).
+    // Canonical commit order (egress_begin, src, seq): ascending
+    // egress_begin within each source keeps the central egress port's
+    // claim sequence identical to the partition-local mirror's, and the
+    // full ordering makes link/ingress contention — and therefore every
+    // delivery time — a pure function of simulated time.
+    struct Key
+    {
+        Tick egress_begin;
+        GpuId src;
+        std::uint64_t seq;
+    };
+    std::vector<Key> order;
+    for (GpuId g = 0; g < ports_.size(); ++g) {
+        Port &port = ports_[g];
+        port.cap.assertOnPartition("PartitionedNet::commit");
+        for (const Pending &m : port.outbox)
+            order.push_back(Key{m.egress_begin, g, m.seq});
+    }
+    if (order.empty())
+        return;
+    std::sort(order.begin(), order.end(), [](const Key &a, const Key &b) {
+        if (a.egress_begin != b.egress_begin)
+            return a.egress_begin < b.egress_begin;
+        if (a.src != b.src)
+            return a.src < b.src;
+        return a.seq < b.seq;
+    });
+    for (const Key &k : order) {
+        // Per-source seq is assigned densely from 0 each epoch, so it
+        // indexes the outbox directly.
+        Pending &m = ports_[k.src].outbox[static_cast<std::size_t>(k.seq)];
+        Tick delivery = net_.commitTransfer(k.src, m.dst, m.bytes,
+                                            m.egress_begin, m.cls);
+        CHOPIN_ASSERT(delivery >= epoch_end, "delivery at ", delivery,
+                      " inside the epoch ending at ", epoch_end,
+                      ": lookahead/latency contract broken");
+        engine_.postAt(static_cast<PartitionId>(m.dst), delivery,
+                       std::move(m.on_delivery));
+    }
+    for (Port &port : ports_) {
+        port.outbox.clear();
+        port.nextSeq = 0;
+    }
+}
+
+} // namespace chopin

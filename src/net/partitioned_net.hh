@@ -1,0 +1,108 @@
+/**
+ * @file
+ * PartitionedNet: the epoch-engine view of the Interconnect.
+ *
+ * The interconnect's three resources per transfer split across the
+ * two-level parallelism contract (DESIGN.md §12):
+ *
+ *  - the source *egress* port is partition-local: the sending GPU's
+ *    partition serializes its own outgoing messages on a private Resource
+ *    mirror, immediately and without coordination — a GPU always knows
+ *    when its own read-out finishes;
+ *  - the shared *link* and destination *ingress* are claimed by the
+ *    coordinator at the epoch barrier (Interconnect::commitTransfer), in
+ *    the canonical (egress_begin, src, seq) order, because their
+ *    contention couples partitions.
+ *
+ * send() buffers a transfer record in the source's outbox and returns the
+ * local egress completion; the barrier hook commits every record, computes
+ * the contended delivery time (always >= the epoch end, since the engine
+ * lookahead never exceeds the wire latency) and posts the delivery
+ * callback on the destination partition. Determinism: commit order, and
+ * therefore every Resource claim, traffic counter and trace span, is a
+ * pure function of simulated time — never of host scheduling.
+ */
+
+#ifndef CHOPIN_NET_PARTITIONED_NET_HH
+#define CHOPIN_NET_PARTITIONED_NET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/interconnect.hh"
+#include "sim/parallel_engine.hh"
+#include "sim/resource.hh"
+#include "util/partition_cap.hh"
+#include "util/types.hh"
+
+namespace chopin
+{
+
+/** Partition-split transfer front-end over one Interconnect. */
+class PartitionedNet
+{
+  public:
+    using Callback = ParallelEngine::Callback;
+
+    /**
+     * @param net    the shared interconnect (coordinator-owned; touched
+     *               only at barriers). Must have latency >= 1.
+     * @param engine the epoch engine; partition p maps to GPU p. The
+     *               engine's lookahead must not exceed the wire latency
+     *               (the conservative bound) and its first numGpus
+     *               partitions must be the GPUs.
+     */
+    PartitionedNet(Interconnect &net, ParallelEngine &engine);
+
+    const LinkParams &params() const { return net_.params(); }
+    Tick transferCycles(Bytes bytes) const
+    {
+        return net_.transferCycles(bytes);
+    }
+
+    /**
+     * Queue a transfer from @p src to @p dst (partition-local half).
+     * Claims the source egress mirror no earlier than @p earliest, buffers
+     * the record for the barrier commit, and schedules @p on_delivery on
+     * @p dst's partition at the (contention-adjusted) delivery tick.
+     *
+     * Callable only from @p src's partition during an epoch.
+     *
+     * @return the local egress completion (read-out end) — the only timing
+     *         component the sender may observe before the barrier.
+     */
+    Tick send(GpuId src, GpuId dst, Bytes bytes, Tick earliest,
+              TrafficClass cls, Callback on_delivery);
+
+  private:
+    /** One buffered transfer awaiting the barrier commit. */
+    struct Pending
+    {
+        Tick egress_begin;
+        std::uint64_t seq; ///< per-source send order
+        GpuId dst;
+        Bytes bytes;
+        TrafficClass cls;
+        Callback on_delivery;
+    };
+
+    /** Per-GPU partition-local state. */
+    struct Port
+    {
+        PartitionCap cap;
+        Resource egress CHOPIN_GUARDED_BY(cap); ///< local egress mirror
+        std::vector<Pending> outbox CHOPIN_GUARDED_BY(cap);
+        std::uint64_t nextSeq CHOPIN_GUARDED_BY(cap) = 0;
+    };
+
+    /** Barrier hook: commit all buffered transfers in canonical order. */
+    void commit(Tick epoch_end);
+
+    Interconnect &net_;
+    ParallelEngine &engine_;
+    std::vector<Port> ports_;
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_NET_PARTITIONED_NET_HH

@@ -14,7 +14,7 @@ namespace chopin
 namespace
 {
 
-constexpr Bytes bytesPerPixel = 8; // RGBA8 color + 32-bit depth/coverage
+constexpr Bytes bytesPerPixel = kCompositionBytesPerPixel;
 
 /** Local ROP cost of merging each GPU's own-region pixels. */
 void
@@ -28,7 +28,8 @@ applySelfMerge(const CompositionJob &job, const TimingParams &timing,
     }
 }
 
-/** One whole-algorithm span on the comp_scheduler track (if tracing). */
+} // namespace
+
 void
 traceComposition(const CompositionJob &job, Interconnect &net,
                  const char *algorithm, const CompositionTiming &out)
@@ -42,8 +43,6 @@ traceComposition(const CompositionJob &job, Interconnect &net,
              {{"pair_pixels", job.pairPixels()},
               {"gpus", job.num_gpus}});
 }
-
-} // namespace
 
 void
 checkCompositionJob(const CompositionJob &job, bool opaque_routing)

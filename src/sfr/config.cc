@@ -42,7 +42,8 @@ SystemConfig::fingerprint() const
         .f64(cull_retention)
         .u64(static_cast<std::uint64_t>(comp_payload))
         .u64(gpupd_batch_prims)
-        .boolean(gpupd_runahead);
+        .boolean(gpupd_runahead)
+        .boolean(epoch_timing);
     return fp.value();
 }
 

@@ -1,0 +1,358 @@
+#include "sfr/epoch_compose.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "net/partitioned_net.hh"
+#include "sim/parallel_engine.hh"
+#include "sim/resource.hh"
+#include "stats/span_buffer.hh"
+#include "util/check.hh"
+#include "util/partition_cap.hh"
+
+namespace chopin
+{
+
+namespace
+{
+
+constexpr Bytes bytesPerPixel = kCompositionBytesPerPixel;
+
+/** Per-GPU partition-local composition state. */
+struct GpuLocal
+{
+    PartitionCap cap;
+    Resource compose CHOPIN_GUARDED_BY(cap); ///< ROP busy-until mirror
+    Tick done CHOPIN_GUARDED_BY(cap) = 0;
+    unsigned merges CHOPIN_GUARDED_BY(cap) = 0; ///< incoming regions merged
+};
+
+/** State shared by one epoch composition run (outlives engine.run()). */
+struct EpochCtx
+{
+    const CompositionJob &job;
+    const TimingParams &timing;
+    ParallelEngine &engine;
+    PartitionedNet &pnet;
+    std::vector<GpuLocal> gpus;
+
+    // Tracing (empty when no tracer is attached): partitions record into
+    // their SpanBuffer; a barrier hook flushes in canonical order.
+    bool tracing = false;
+    std::vector<SpanBuffer> spans;
+    std::vector<Tracer::TrackId> tracks;
+
+    EpochCtx(const CompositionJob &j, const TimingParams &t,
+             ParallelEngine &e, PartitionedNet &p)
+        : job(j), timing(t), engine(e), pnet(p), gpus(j.num_gpus)
+    {
+        for (GpuId g = 0; g < j.num_gpus; ++g)
+            gpus[g].cap.bind(static_cast<PartitionId>(g));
+    }
+
+    /** Register per-GPU compose tracks and the barrier flush hook. */
+    void
+    setupTracing(Tracer *tr)
+    {
+        if (tr == nullptr)
+            return;
+        tracing = true;
+        spans.resize(job.num_gpus);
+        for (GpuId g = 0; g < job.num_gpus; ++g)
+            tracks.push_back(
+                tr->track("gpu" + std::to_string(g) + ".compose"));
+        engine.addBarrierHook(
+            [this, tr](Tick) { SpanBuffer::commitSorted(spans, *tr); });
+    }
+
+    /** Local ROP merge of GPU @p g's own-region pixels at readiness. */
+    void
+    selfMerge(GpuId g)
+    {
+        GpuLocal &me = gpus[g];
+        me.cap.assertOnPartition("epoch selfMerge");
+        Tick now = engine.now(static_cast<PartitionId>(g));
+        std::uint64_t px = job.self_pixels[g];
+        Tick t = me.compose.claim(now, timing.composeCycles(px));
+        me.done = std::max(me.done, t);
+        if (tracing)
+            spans[g].record(tracks[g], "comp", "self-merge", now, t,
+                            {{"pixels", px}});
+    }
+
+    /** Merge a delivered region from @p src into @p dst (delivery event). */
+    void
+    mergeDelivered(GpuId dst, GpuId src, std::uint64_t px)
+    {
+        GpuLocal &me = gpus[dst];
+        me.cap.assertOnPartition("epoch mergeDelivered");
+        Tick now = engine.now(static_cast<PartitionId>(dst));
+        Tick merged = me.compose.claim(now, timing.composeCycles(px));
+        me.done = std::max(me.done, merged);
+        me.merges += 1;
+        if (tracing)
+            spans[dst].record(tracks[dst], "comp",
+                              "merge<-gpu" + std::to_string(src), now,
+                              merged, {{"pixels", px}});
+    }
+
+    /** Collect per-GPU results after engine.run() (coordinator). */
+    CompositionTiming
+    finish() const
+    {
+        CompositionTiming out;
+        out.gpu_done.assign(job.num_gpus, 0);
+        for (GpuId g = 0; g < job.num_gpus; ++g) {
+            const GpuLocal &me = gpus[g];
+            me.cap.assertOnPartition("epoch finish");
+            CHOPIN_CHECK(me.merges == job.num_gpus - 1, "GPU ", g,
+                         " merged ", me.merges, " regions, expected ",
+                         job.num_gpus - 1);
+            out.gpu_done[g] = me.done;
+        }
+        out.end =
+            *std::max_element(out.gpu_done.begin(), out.gpu_done.end());
+        return out;
+    }
+};
+
+/** Direct-send sender: stream every region in fixed destination order the
+ *  moment rendering finishes, oblivious to destination readiness. */
+void
+directSendFrom(EpochCtx &ctx, GpuId src)
+{
+    GpuLocal &me = ctx.gpus[src];
+    me.cap.assertOnPartition("epoch directSendFrom");
+    ctx.selfMerge(src);
+    Tick now = ctx.engine.now(static_cast<PartitionId>(src));
+    unsigned n = ctx.job.num_gpus;
+    for (GpuId step = 1; step < n; ++step) {
+        GpuId dst = (src + step) % n;
+        std::uint64_t px = ctx.job.pairPixels(src, dst);
+        // The ROPs read the region out of memory while it streams
+        // (operation (a) of Section IV-B): back-to-back sends serialize on
+        // whichever of read and wire is slower.
+        Tick read_start = std::max(now, me.compose.freeAt());
+        me.compose.claim(read_start, ctx.timing.composeCycles(px));
+        EpochCtx *c = &ctx;
+        Tick sent = ctx.pnet.send(
+            src, dst, px * bytesPerPixel, read_start,
+            TrafficClass::Composition,
+            [c, dst, src, px]() { c->mergeDelivered(dst, src, px); });
+        me.done = std::max(me.done, sent);
+    }
+}
+
+} // namespace
+
+CompositionTiming
+composeOpaqueDirectSendEpoch(const CompositionJob &job, Interconnect &net,
+                             const TimingParams &timing)
+{
+    checkCompositionJob(job, /*opaque_routing=*/true);
+    unsigned n = job.num_gpus;
+    CHOPIN_CHECK(n >= 2, "epoch composition needs at least two partitions");
+
+    ParallelEngine engine(n, net.params().latency);
+    PartitionedNet pnet(net, engine);
+    EpochCtx ctx(job, timing, engine, pnet);
+    ctx.setupTracing(net.tracer());
+
+    for (GpuId g = 0; g < n; ++g) {
+        EpochCtx *c = &ctx;
+        // The event chain reads ParallelEngine::now (partition-local);
+        // the analyzer's simple-name resolution also matches the
+        // coordinator-only EventQueue::now, which is never called here.
+        engine.postAt(static_cast<PartitionId>(g), job.ready[g],
+                      // chopin-analyze: allow(seq-reach)
+                      [c, g]() { directSendFrom(*c, g); });
+    }
+    engine.run();
+
+    CompositionTiming out = ctx.finish();
+    traceComposition(job, net, "direct-send-epoch", out);
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Scheduler-paired composition as partition events. The centralized
+ * scheduler (Fig. 12) lives on partition 0 and exchanges status with the
+ * GPUs through cross-partition events costing one wire latency each:
+ * readiness notifications, pair commands, and merge-completion reports.
+ */
+struct SchedCtx
+{
+    EpochCtx &ep;
+    Tick statusDelay; ///< one wire latency per scheduler status hop
+
+    // --- scheduler state, owned by partition 0 ---------------------------
+    PartitionCap sched{0};
+    std::vector<std::uint8_t> ready CHOPIN_GUARDED_BY(sched);
+    std::vector<std::uint8_t> busy CHOPIN_GUARDED_BY(sched);
+    /** done_mask[g] bit b: g and b have composed with each other. */
+    std::vector<std::uint64_t> done_mask CHOPIN_GUARDED_BY(sched);
+    /** got_mask[g] bit b: g reported merging the region from b. */
+    std::vector<std::uint64_t> got_mask CHOPIN_GUARDED_BY(sched);
+
+    explicit SchedCtx(EpochCtx &e, Tick status_delay)
+        : ep(e), statusDelay(status_delay), ready(e.job.num_gpus, 0),
+          busy(e.job.num_gpus, 0), done_mask(e.job.num_gpus, 0),
+          got_mask(e.job.num_gpus, 0)
+    {
+    }
+
+    /** Deliver @p cb to the scheduler partition one status hop from now on
+     *  partition @p from (sendAt for remote GPUs, postAt for GPU 0). */
+    void
+    toScheduler(GpuId from, InlineFunction cb)
+    {
+        Tick at = ep.engine.now(static_cast<PartitionId>(from)) +
+                  statusDelay;
+        if (from == 0)
+            ep.engine.postAt(0, at, std::move(cb));
+        else
+            ep.engine.sendAt(static_cast<PartitionId>(from), 0, at,
+                             std::move(cb));
+    }
+
+    /** Deliver @p cb to GPU @p to one status hop from the scheduler's now
+     *  (the scheduler is partition 0). */
+    void
+    toGpu(GpuId to, InlineFunction cb)
+    {
+        Tick at = ep.engine.now(0) + statusDelay;
+        if (to == 0)
+            ep.engine.postAt(0, at, std::move(cb));
+        else
+            ep.engine.sendAt(0, static_cast<PartitionId>(to), at,
+                             std::move(cb));
+    }
+
+    bool
+    fullyDone(GpuId g) const
+    {
+        unsigned n = ep.job.num_gpus;
+        std::uint64_t all =
+            (n >= 64 ? ~0ULL : (1ULL << n) - 1) & ~(1ULL << g);
+        return (done_mask[g] & all) == all;
+    }
+
+    /** GPU @p src streams its region for @p dst (pair-command event). */
+    void
+    doSend(GpuId src, GpuId dst)
+    {
+        GpuLocal &me = ep.gpus[src];
+        me.cap.assertOnPartition("epoch doSend");
+        Tick now = ep.engine.now(static_cast<PartitionId>(src));
+        std::uint64_t px = ep.job.pairPixels(src, dst);
+        Tick read_start = std::max(now, me.compose.freeAt());
+        me.compose.claim(read_start, ep.timing.composeCycles(px));
+        SchedCtx *c = this;
+        ep.pnet.send(src, dst, px * bytesPerPixel, read_start,
+                     TrafficClass::Composition, [c, dst, src, px]() {
+                         c->ep.mergeDelivered(dst, src, px);
+                         c->toScheduler(dst, [c, dst, src]() {
+                             c->mergeReported(dst, src);
+                         });
+                     });
+    }
+
+    /** Scheduler event: GPU @p g finished rendering (and its self-merge). */
+    void
+    gpuReady(GpuId g)
+    {
+        sched.assertOnPartition("epoch gpuReady");
+        ready[g] = 1;
+        tryMatch();
+    }
+
+    /** Scheduler event: @p dst merged the region it was owed by @p src.
+     *  A pair session ends when both directions report. */
+    void
+    mergeReported(GpuId dst, GpuId src)
+    {
+        sched.assertOnPartition("epoch mergeReported");
+        got_mask[dst] |= 1ULL << src;
+        if ((got_mask[src] >> dst) & 1ULL) {
+            busy[dst] = busy[src] = 0;
+            done_mask[dst] |= 1ULL << src;
+            done_mask[src] |= 1ULL << dst;
+            tryMatch();
+        }
+    }
+
+    /** Greedy pair matching (Fig. 12's rules), same as the serial model:
+     *  pair any two ready, non-busy GPUs that have not yet composed. */
+    void
+    tryMatch()
+    {
+        sched.assertOnPartition("epoch tryMatch");
+        unsigned n = ep.job.num_gpus;
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (GpuId a = 0; a < n && !progress; ++a) {
+                if (!ready[a] || busy[a] || fullyDone(a))
+                    continue;
+                for (GpuId b = a + 1; b < n; ++b) {
+                    if (!ready[b] || busy[b])
+                        continue;
+                    if ((done_mask[a] >> b) & 1ULL)
+                        continue;
+                    busy[a] = busy[b] = 1;
+                    SchedCtx *c = this;
+                    toGpu(a, [c, a, b]() { c->doSend(a, b); });
+                    toGpu(b, [c, a, b]() { c->doSend(b, a); });
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+CompositionTiming
+composeOpaqueScheduledEpoch(const CompositionJob &job, Interconnect &net,
+                            const TimingParams &timing)
+{
+    checkCompositionJob(job, /*opaque_routing=*/true);
+    unsigned n = job.num_gpus;
+    CHOPIN_CHECK(n >= 2, "epoch composition needs at least two partitions");
+    CHOPIN_CHECK(n <= 64, "pair masks hold at most 64 GPUs");
+
+    ParallelEngine engine(n, net.params().latency);
+    PartitionedNet pnet(net, engine);
+    EpochCtx ctx(job, timing, engine, pnet);
+    ctx.setupTracing(net.tracer());
+    SchedCtx sched(ctx, net.params().latency);
+
+    for (GpuId g = 0; g < n; ++g) {
+        SchedCtx *c = &sched;
+        // The event chain reads ParallelEngine::now (partition-local);
+        // the analyzer's simple-name resolution also matches the
+        // coordinator-only EventQueue::now, which is never called here.
+        engine.postAt(static_cast<PartitionId>(g), job.ready[g],
+                      // chopin-analyze: allow(seq-reach)
+                      [c, g]() {
+                          c->ep.selfMerge(g);
+                          c->toScheduler(g, [c, g]() { c->gpuReady(g); });
+                      });
+    }
+    engine.run();
+
+    for (GpuId g = 0; g < n; ++g)
+        CHOPIN_CHECK(sched.fullyDone(g),
+                     "epoch composition scheduler finished with GPU ", g,
+                     " not fully composed");
+    CompositionTiming out = ctx.finish();
+    traceComposition(job, net, "scheduled-epoch", out);
+    return out;
+}
+
+} // namespace chopin

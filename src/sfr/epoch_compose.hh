@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Epoch-parallel composition timing: the opaque composers of
+ * sfr/comp_scheduler.hh re-expressed as partition events on the
+ * conservative-lookahead engine (sim/parallel_engine.hh).
+ *
+ * Each GPU of the composition job becomes one engine partition that owns
+ * its ROP compose Resource, its completion time and its egress-port mirror
+ * (via net/partitioned_net.hh). Partitions advance concurrently through
+ * lookahead windows of exactly the wire latency; shared link/ingress
+ * contention and delivery callbacks commit at the epoch barriers in
+ * canonical order, so the resulting CompositionTiming — and any trace
+ * bytes — are bit-identical for every host --jobs value.
+ *
+ * These are *different timing algorithms* from their serial namesakes, not
+ * parallelized reimplementations (gated behind SystemConfig::epoch_timing,
+ * which is fingerprinted):
+ *
+ *  - direct-send-epoch: a sender cannot observe a destination's ingress
+ *    port inside an epoch, so back-pressure from busy destinations shows
+ *    up at the wire (delivery/merge times) rather than stalling the
+ *    sender's egress queue as in the serial model;
+ *  - scheduled-epoch: the centralized pair-matching scheduler lives on
+ *    partition 0 and learns readiness / pair completion through status
+ *    events that cost one wire latency each — the serial model's
+ *    zero-latency scheduler omniscience is gone.
+ *
+ * Transparent (tree) composition keeps the serial path: its adjacent-merge
+ * dependency chain yields nothing to partition-parallelism at GPU counts
+ * this simulator targets. See DESIGN.md §12.
+ */
+
+#ifndef CHOPIN_SFR_EPOCH_COMPOSE_HH
+#define CHOPIN_SFR_EPOCH_COMPOSE_HH
+
+#include "net/interconnect.hh"
+#include "sfr/comp_scheduler.hh"
+#include "sfr/config.hh"
+
+namespace chopin
+{
+
+/**
+ * May the epoch engine drive composition timing for this run? Requires the
+ * config opt-in, a real wire latency (the conservative lookahead — ideal
+ * zero-latency links admit no window) and more than one GPU.
+ * @param link the run's effective link parameters (ChopinOptions::ideal
+ *             overrides SystemConfig::link).
+ */
+inline bool
+epochTimingEligible(const SystemConfig &cfg, const LinkParams &link)
+{
+    return cfg.epoch_timing && link.latency >= 1 && cfg.num_gpus > 1;
+}
+
+/** Epoch-parallel naive direct-send composition of an opaque group. */
+CompositionTiming composeOpaqueDirectSendEpoch(const CompositionJob &job,
+                                               Interconnect &net,
+                                               const TimingParams &timing);
+
+/** Epoch-parallel scheduler-paired composition of an opaque group. */
+CompositionTiming composeOpaqueScheduledEpoch(const CompositionJob &job,
+                                              Interconnect &net,
+                                              const TimingParams &timing);
+
+} // namespace chopin
+
+#endif // CHOPIN_SFR_EPOCH_COMPOSE_HH

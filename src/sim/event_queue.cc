@@ -1,7 +1,5 @@
 #include "sim/event_queue.hh"
 
-#include <algorithm>
-
 #include "util/check.hh"
 
 namespace chopin
@@ -13,35 +11,28 @@ EventQueue::schedule(Tick when, Callback cb)
     seq.assertHeld("EventQueue::schedule");
     CHOPIN_ASSERT(when >= currentTick,
                   "event scheduled into the past: ", when, " < ", currentTick);
-    CHOPIN_ASSERT(cb != nullptr, "null callback scheduled at ", when);
-    events.push(Entry{when, nextSeq++, std::move(cb)});
+    CHOPIN_ASSERT(static_cast<bool>(cb), "null callback scheduled at ", when);
+    events.push(when, nextSeq++, std::move(cb));
 }
 
 Tick
 EventQueue::run()
 {
-    return runUntil(~Tick(0));
+    return runUntil(kTickMax);
 }
 
 Tick
 EventQueue::runUntil(Tick limit)
 {
     seq.assertHeld("EventQueue::runUntil");
-    while (!events.empty() && events.top().when <= limit) {
-        // priority_queue::top() is const; the callback must be moved out
-        // before pop() destroys the entry. Entry is mutable apart from the
-        // ordering keys, so the const_cast is safe: the heap ordering only
-        // depends on (when, seq), which are left untouched.
-        Entry &top = const_cast<Entry &>(events.top());
-        Tick when = top.when;
-        Callback cb = std::move(top.cb);
-        events.pop();
+    while (!events.empty() && events.nextWhen() <= limit) {
+        EventHeap<Callback>::Entry e = events.pop();
         // Simulated time is monotone: the heap can never surface an event
         // earlier than one already executed.
-        CHOPIN_ASSERT(when >= currentTick, "time ran backwards: ", when,
+        CHOPIN_ASSERT(e.when >= currentTick, "time ran backwards: ", e.when,
                       " < ", currentTick);
-        currentTick = when;
-        cb();
+        currentTick = e.when;
+        e.cb();
     }
     return currentTick;
 }
@@ -50,8 +41,7 @@ void
 EventQueue::reset()
 {
     seq.assertHeld("EventQueue::reset");
-    while (!events.empty())
-        events.pop();
+    events.clear();
     currentTick = 0;
     nextSeq = 0;
 }

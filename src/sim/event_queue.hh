@@ -13,10 +13,9 @@
 #define CHOPIN_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
+#include "sim/event_heap.hh"
+#include "util/inline_function.hh"
 #include "util/sequential.hh"
 #include "util/types.hh"
 
@@ -35,7 +34,9 @@ namespace chopin
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Small-buffer-optimized: typical event captures store inline, so the
+     *  hot schedule/run loop performs no per-event heap allocation. */
+    using Callback = InlineFunction;
 
     /** Current simulated time. */
     Tick
@@ -67,6 +68,14 @@ class EventQueue
         return events.size();
     }
 
+    /** Pre-size the event storage for a known event count. */
+    void
+    reserve(std::size_t n)
+    {
+        seq.assertHeld("EventQueue::reserve");
+        events.reserve(n);
+    }
+
     /**
      * Run until the queue drains.
      * @return the time of the last executed event.
@@ -80,28 +89,9 @@ class EventQueue
     void reset();
 
   private:
-    struct Entry
-    {
-        Tick when;
-        std::uint64_t seq; // insertion order for same-tick determinism
-        Callback cb;
-    };
-
-    struct Later
-    {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
-
     SequentialCap seq; ///< coordinator ownership; guards all state below
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> events
-        CHOPIN_GUARDED_BY(seq);
+    EventHeap<Callback> events CHOPIN_GUARDED_BY(seq);
     Tick currentTick CHOPIN_GUARDED_BY(seq) = 0;
     std::uint64_t nextSeq CHOPIN_GUARDED_BY(seq) = 0;
 };

@@ -1,0 +1,152 @@
+#include "sim/parallel_engine.hh"
+
+#include <algorithm>
+
+#include "util/check.hh"
+#include "util/sequential.hh"
+#include "util/thread_pool.hh"
+
+namespace chopin
+{
+
+ParallelEngine::ParallelEngine(unsigned num_partitions, Tick lookahead)
+    : outboxes(num_partitions), lookaheadTicks(lookahead)
+{
+    CHOPIN_CHECK(num_partitions >= 1, "engine without partitions");
+    CHOPIN_CHECK(lookahead >= 1,
+                 "conservative lookahead must be at least one tick");
+    parts.reserve(num_partitions);
+    for (unsigned p = 0; p < num_partitions; ++p) {
+        parts.emplace_back(static_cast<PartitionId>(p));
+        outboxes[p].cap.bind(static_cast<PartitionId>(p));
+    }
+}
+
+void
+ParallelEngine::postAt(PartitionId p, Tick when, Callback cb)
+{
+    CHOPIN_ASSERT(p < parts.size(), "postAt to unknown partition ", p);
+    // PartitionQueue::post re-checks ownership: the caller must be p's
+    // epoch worker or the coordinator between epochs.
+    parts[p].post(when, std::move(cb));
+}
+
+void
+ParallelEngine::sendAt(PartitionId src, PartitionId dst, Tick when,
+                       Callback cb)
+{
+    CHOPIN_ASSERT(src < parts.size() && dst < parts.size() && src != dst,
+                  "bad cross-partition send ", src, " -> ", dst);
+    Outbox &box = outboxes[src];
+    box.cap.assertOnPartition("ParallelEngine::sendAt");
+    // The conservative contract: an effect produced inside an epoch may
+    // not land before the epoch ends (equality is fine — the epoch bound
+    // is exclusive). Sending `lookahead` after the local clock always
+    // satisfies this.
+    CHOPIN_ASSERT(when >= epochEnd, "cross-partition send from ", src,
+                  " to ", dst, " lands at ", when,
+                  " inside the current epoch (end ", epochEnd,
+                  "): effect violates the lookahead window");
+    CHOPIN_ASSERT(static_cast<bool>(cb), "null cross-partition callback");
+    box.messages.push_back(Pending{when, box.nextSeq++, src, dst,
+                                   std::move(cb)});
+}
+
+void
+ParallelEngine::addBarrierHook(BarrierHook hook)
+{
+    assertSequential("ParallelEngine::addBarrierHook");
+    CHOPIN_ASSERT(static_cast<bool>(hook), "null barrier hook");
+    hooks.push_back(std::move(hook));
+}
+
+void
+ParallelEngine::commitMailboxes()
+{
+    // Gather every buffered message, then commit in canonical
+    // (when, src, seq) order: the destination queue's FIFO tie-break
+    // sequence is assigned by this ordering, never by host scheduling.
+    std::vector<Pending> batch;
+    for (Outbox &box : outboxes) {
+        box.cap.assertOnPartition("ParallelEngine::commitMailboxes");
+        for (Pending &m : box.messages)
+            batch.push_back(std::move(m));
+        box.messages.clear();
+    }
+    if (batch.empty())
+        return;
+    std::sort(batch.begin(), batch.end(),
+              [](const Pending &a, const Pending &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.seq < b.seq;
+              });
+    for (Pending &m : batch)
+        parts[m.dst].post(m.when, std::move(m.cb));
+}
+
+Tick
+ParallelEngine::run()
+{
+    // The engine itself is driven from the coordinator: epochs hand
+    // partition state to pool workers, the barrier hands it back.
+    assertSequential("ParallelEngine::run");
+    unsigned jobs = globalJobs();
+    std::size_t n = parts.size();
+
+    for (;;) {
+        Tick horizon = kTickMax;
+        for (PartitionQueue &p : parts)
+            horizon = std::min(horizon, p.nextEventAt());
+        if (horizon == kTickMax)
+            break; // fully drained: mailboxes were committed last barrier
+
+        Tick end = horizon >= kTickMax - lookaheadTicks
+                       ? kTickMax
+                       : horizon + lookaheadTicks;
+        epochEnd = end;
+
+        if (jobs <= 1 || n < 2) {
+            // Serial path: partitions advance inline on the coordinator,
+            // in index order, with no pool and no barrier. Bit-identical
+            // to the parallel path because partition execution is
+            // partition-local and the commit below is order-canonical.
+            for (std::size_t p = 0; p < n; ++p) {
+                PartitionScope scope(static_cast<PartitionId>(p));
+                parts[p].runUntilBefore(end);
+            }
+        } else {
+            usedBarrier = true;
+            globalPool().parallelFor(n, 1, [&](std::size_t begin,
+                                               std::size_t bound) {
+                for (std::size_t p = begin; p < bound; ++p) {
+                    PartitionScope scope(static_cast<PartitionId>(p));
+                    parts[p].runUntilBefore(end);
+                }
+            });
+        }
+
+        commitMailboxes();
+        for (const BarrierHook &hook : hooks)
+            hook(end);
+        epochCount += 1;
+    }
+
+    Tick done = 0;
+    for (PartitionQueue &p : parts)
+        done = std::max(done, p.now());
+    return done;
+}
+
+std::uint64_t
+ParallelEngine::eventsExecuted() const
+{
+    std::uint64_t total = 0;
+    for (const PartitionQueue &p : parts)
+        total += p.executed();
+    return total;
+}
+
+} // namespace chopin

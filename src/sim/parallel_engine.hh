@@ -1,0 +1,159 @@
+/**
+ * @file
+ * ParallelEngine: deterministic epoch-parallel discrete-event execution
+ * via conservative lookahead.
+ *
+ * The classic conservative-PDES construction (Chandy/Misra/Bryant, and the
+ * parallel multi-GPU event engines of MGSim and Akita): partition the
+ * simulation into logical processes that only influence each other with a
+ * minimum delay L (here: the interconnect wire latency, 200 cycles in
+ * Table II), and all partitions can safely advance through the tick window
+ * [T, T + L) concurrently — any cross-partition effect produced inside the
+ * window lands at or after its end.
+ *
+ * Execution alternates two phases driven by the coordinator thread:
+ *
+ *  1. *Epoch*: every partition runs its local events with tick in
+ *     [horizon, horizon + lookahead), where horizon is the global minimum
+ *     pending-event tick (epochs jump over empty time). With host jobs > 1
+ *     the partitions run on the ThreadPool (the barrier path); with
+ *     jobs == 1 they run inline on the coordinator, in partition-index
+ *     order, with no barrier involved — same events, same order, same
+ *     results.
+ *  2. *Barrier commit*: the coordinator drains the per-source mailboxes in
+ *     canonical (tick, src partition, per-src sequence) order into the
+ *     destination queues, then runs the registered barrier hooks
+ *     (PartitionedNet claims shared link/ingress resources here, span
+ *     buffers flush to the Tracer here).
+ *
+ * Determinism by construction: partition execution touches only
+ * partition-local state (PartitionCap-checked), and every cross-partition
+ * effect flows through the canonically-ordered commit — so metrics, frame
+ * hashes and trace bytes are bit-identical for any host job count. See
+ * DESIGN.md §12.
+ */
+
+#ifndef CHOPIN_SIM_PARALLEL_ENGINE_HH
+#define CHOPIN_SIM_PARALLEL_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/partition.hh"
+#include "util/inline_function.hh"
+#include "util/partition_cap.hh"
+#include "util/types.hh"
+
+namespace chopin
+{
+
+/** The epoch-parallel event engine; see the file comment. */
+class ParallelEngine
+{
+  public:
+    using Callback = InlineFunction;
+    /** Coordinator-side hook run after each epoch's mailbox commit; the
+     *  argument is the epoch's exclusive end tick. */
+    using BarrierHook = std::function<void(Tick epoch_end)>;
+
+    /**
+     * @param num_partitions logical processes (>= 1)
+     * @param lookahead      conservative window width: the minimum delay of
+     *                       any cross-partition effect, in ticks (>= 1;
+     *                       kTickMax for fully decoupled partitions)
+     */
+    ParallelEngine(unsigned num_partitions, Tick lookahead);
+
+    unsigned
+    numPartitions() const
+    {
+        return static_cast<unsigned>(parts.size());
+    }
+
+    Tick lookahead() const { return lookaheadTicks; }
+
+    /** Partition @p p's clock; callable by p's events and the coordinator. */
+    Tick
+    now(PartitionId p) const
+    {
+        return parts[p].now();
+    }
+
+    /**
+     * Schedule a *partition-local* event: @p cb runs on partition @p p at
+     * tick @p when. Legal from p's own events and from the coordinator
+     * between epochs (seeding, delivery commit).
+     */
+    void postAt(PartitionId p, Tick when, Callback cb);
+
+    /**
+     * Send a *cross-partition* event from @p src (the calling partition)
+     * to @p dst. Buffered in src's mailbox; the coordinator commits it at
+     * the epoch barrier in canonical (when, src, seq) order, so dst's
+     * execution order is independent of host scheduling.
+     * @pre when lands at or after the current epoch's end — i.e. the
+     *      effect respects the lookahead (when >= send time + lookahead
+     *      always satisfies this).
+     */
+    void sendAt(PartitionId src, PartitionId dst, Tick when, Callback cb);
+
+    /** Register a coordinator hook run after every epoch's mailbox commit,
+     *  in registration order. Must be called before run(). */
+    void addBarrierHook(BarrierHook hook);
+
+    /**
+     * Run epochs until every partition queue and mailbox drains and the
+     * barrier hooks schedule nothing further.
+     * @return the maximum partition clock (global completion time).
+     */
+    Tick run();
+
+    /** Epochs executed by run(). */
+    std::uint64_t epochs() const { return epochCount; }
+
+    /** Events executed across all partitions. */
+    std::uint64_t eventsExecuted() const;
+
+    /** True when run() advanced partitions on pool workers with an epoch
+     *  barrier; false for the inline jobs == 1 path. */
+    bool usedBarrierPath() const { return usedBarrier; }
+
+  private:
+    /** One buffered cross-partition message. */
+    struct Pending
+    {
+        Tick when;
+        std::uint64_t seq; ///< per-source send order
+        PartitionId src;
+        PartitionId dst;
+        Callback cb;
+    };
+
+    /** Per-source mailbox, written only by the owning partition during an
+     *  epoch and drained only by the coordinator at the barrier. */
+    struct Outbox
+    {
+        PartitionCap cap;
+        std::vector<Pending> messages CHOPIN_GUARDED_BY(cap);
+        std::uint64_t nextSeq CHOPIN_GUARDED_BY(cap) = 0;
+    };
+
+    /** Drain all mailboxes into the destination queues in canonical
+     *  (when, src, seq) order. Coordinator-only, between epochs. */
+    void commitMailboxes();
+
+    std::vector<PartitionQueue> parts;
+    std::vector<Outbox> outboxes; ///< one per source partition
+    std::vector<BarrierHook> hooks;
+    Tick lookaheadTicks;
+    /** Exclusive end of the epoch currently executing (sendAt contract);
+     *  written by the coordinator before partitions advance. */
+    Tick epochEnd = 0;
+    std::uint64_t epochCount = 0;
+    bool usedBarrier = false;
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_SIM_PARALLEL_ENGINE_HH

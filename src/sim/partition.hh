@@ -1,0 +1,122 @@
+/**
+ * @file
+ * PartitionQueue: one logical process of the epoch-parallel timing engine.
+ *
+ * A partition bundles the state one simulated GPU advances independently
+ * during a conservative epoch: a local event queue and clock, guarded by a
+ * PartitionCap (util/partition_cap.hh) instead of EventQueue's
+ * SequentialCap. Same ordering semantics as EventQueue — events fire in
+ * ascending (tick, insertion-seq) order via the shared EventHeap — but the
+ * queue may legally be driven from inside a parallelFor region by the one
+ * epoch worker that holds this partition's PartitionScope.
+ *
+ * Cross-partition effects never touch another partition's queue directly:
+ * they are buffered in the engine's mailboxes and committed by the
+ * coordinator at the epoch barrier, which assigns the destination-queue
+ * insertion sequence in the canonical (tick, src, per-src seq) order the
+ * determinism contract requires (DESIGN.md §12).
+ */
+
+#ifndef CHOPIN_SIM_PARTITION_HH
+#define CHOPIN_SIM_PARTITION_HH
+
+#include <cstdint>
+
+#include "sim/event_heap.hh"
+#include "util/check.hh"
+#include "util/inline_function.hh"
+#include "util/partition_cap.hh"
+#include "util/types.hh"
+
+namespace chopin
+{
+
+/** The event queue and clock of one epoch-engine partition. */
+class PartitionQueue
+{
+  public:
+    using Callback = InlineFunction;
+
+    explicit PartitionQueue(PartitionId id) : cap(id) {}
+
+    PartitionId id() const { return cap.owner(); }
+
+    /** This partition's simulated clock (last executed event's tick). */
+    Tick
+    now() const
+    {
+        cap.assertOnPartition("PartitionQueue::now");
+        return clock;
+    }
+
+    /** Tick of the earliest pending event; kTickMax when drained. The
+     *  coordinator polls this across partitions to place the next epoch. */
+    Tick
+    nextEventAt() const
+    {
+        cap.assertOnPartition("PartitionQueue::nextEventAt");
+        return events.nextWhen();
+    }
+
+    /** Events executed so far (engine statistics). */
+    std::uint64_t
+    executed() const
+    {
+        cap.assertOnPartition("PartitionQueue::executed");
+        return executedCount;
+    }
+
+    /**
+     * Enqueue @p cb at absolute time @p when. Legal from this partition's
+     * own events (partition-local scheduling) and from the coordinator
+     * between epochs (seeding, mailbox commit) — the commit path relies on
+     * call order assigning the FIFO tie-break sequence.
+     * @pre when >= now() (no scheduling into the past).
+     */
+    void
+    post(Tick when, Callback cb)
+    {
+        cap.assertOnPartition("PartitionQueue::post");
+        CHOPIN_ASSERT(when >= clock, "partition ", cap.owner(),
+                      ": event scheduled into the past: ", when, " < ",
+                      clock);
+        CHOPIN_ASSERT(static_cast<bool>(cb), "partition ", cap.owner(),
+                      ": null callback scheduled at ", when);
+        events.push(when, nextSeq++, std::move(cb));
+    }
+
+    /**
+     * Execute every pending event with tick strictly before @p end (the
+     * epoch's exclusive upper bound: an effect landing exactly at the
+     * epoch end belongs to the next epoch, which is what makes a lookahead
+     * of exactly the link latency safe). Runs under the engine's
+     * PartitionScope.
+     * @return this partition's clock after the epoch.
+     */
+    Tick
+    runUntilBefore(Tick end)
+    {
+        cap.assertOnPartition("PartitionQueue::runUntilBefore");
+        while (!events.empty() && events.nextWhen() < end) {
+            EventHeap<Callback>::Entry e = events.pop();
+            CHOPIN_ASSERT(e.when >= clock, "partition ", cap.owner(),
+                          ": time ran backwards: ", e.when, " < ", clock);
+            clock = e.when;
+            executedCount += 1;
+            e.cb();
+        }
+        return clock;
+    }
+
+  private:
+    PartitionCap cap; ///< partition ownership; guards all state below
+
+    EventHeap<Callback> events CHOPIN_GUARDED_BY(cap);
+    Tick clock CHOPIN_GUARDED_BY(cap) = 0;
+    std::uint64_t nextSeq CHOPIN_GUARDED_BY(cap) = 0;
+    std::uint64_t executedCount CHOPIN_GUARDED_BY(cap) = 0;
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_SIM_PARTITION_HH

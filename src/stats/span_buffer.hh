@@ -1,0 +1,105 @@
+/**
+ * @file
+ * SpanBuffer: per-partition trace-span staging for the epoch engine.
+ *
+ * Tracer::span() is coordinator-only (SequentialCap), so epoch workers
+ * cannot emit spans directly — and even if they could, completion order
+ * would leak host scheduling into the trace bytes. Instead each partition
+ * records its spans into a private SpanBuffer (guarded by the partition's
+ * capability at the call site), and the coordinator flushes all buffers at
+ * the epoch barrier with commitSorted(): spans ordered by
+ * (start, buffer index, record sequence), i.e. the same canonical
+ * (tick, partition, seq) rule the mailbox commit uses. The exported trace
+ * is therefore byte-identical for any host job count. See DESIGN.md §12.
+ */
+
+#ifndef CHOPIN_STATS_SPAN_BUFFER_HH
+#define CHOPIN_STATS_SPAN_BUFFER_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/tracer.hh"
+#include "util/types.hh"
+
+namespace chopin
+{
+
+/** Partition-local staging buffer for trace spans; see the file comment. */
+class SpanBuffer
+{
+  public:
+    /** Record the interval [@p start, @p end) for a later commit. Safe
+     *  from an epoch worker: the buffer is partition-local by ownership
+     *  (the caller holds the owning partition's capability). */
+    void
+    record(Tracer::TrackId track, const char *category, std::string name,
+           Tick start, Tick end, std::vector<TraceArg> args = {})
+    {
+        recs.push_back(Rec{track, category, std::move(name), start, end,
+                           std::move(args), nextSeq++});
+    }
+
+    bool empty() const { return recs.empty(); }
+    std::size_t size() const { return recs.size(); }
+
+    /**
+     * Flush every buffer into @p tracer in canonical
+     * (start, buffer index, record seq) order and clear them.
+     * Coordinator-only (Tracer::span asserts it).
+     */
+    static void
+    commitSorted(std::vector<SpanBuffer> &buffers, Tracer &tracer)
+    {
+        struct Key
+        {
+            Tick start;
+            std::size_t buffer;
+            std::uint64_t seq;
+        };
+        std::vector<Key> order;
+        for (std::size_t b = 0; b < buffers.size(); ++b)
+            for (const Rec &r : buffers[b].recs)
+                order.push_back(Key{r.start, b, r.seq});
+        std::sort(order.begin(), order.end(), [](const Key &a, const Key &b) {
+            if (a.start != b.start)
+                return a.start < b.start;
+            if (a.buffer != b.buffer)
+                return a.buffer < b.buffer;
+            return a.seq < b.seq;
+        });
+        for (const Key &k : order) {
+            // Records keep their per-buffer index == seq ordering, so seq
+            // indexes the buffer's vector directly.
+            Rec &r = buffers[k.buffer].recs[static_cast<std::size_t>(k.seq)];
+            tracer.span(r.track, r.category, std::move(r.name), r.start,
+                        r.end, std::move(r.args));
+        }
+        for (SpanBuffer &b : buffers) {
+            b.recs.clear();
+            b.nextSeq = 0;
+        }
+    }
+
+  private:
+    struct Rec
+    {
+        Tracer::TrackId track;
+        const char *category;
+        std::string name;
+        Tick start;
+        Tick end;
+        std::vector<TraceArg> args;
+        std::uint64_t seq; ///< record order within this buffer
+    };
+
+    std::vector<Rec> recs;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_STATS_SPAN_BUFFER_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * InlineFunction: a move-only `void()` callable with small-buffer storage.
+ *
+ * The event-driven timing core allocates one callback per scheduled event;
+ * with std::function every capture list beyond a pointer or two costs a
+ * heap round-trip on the hot path. InlineFunction stores the callable
+ * inline when it fits kInlineBytes (and is nothrow-move-constructible) and
+ * only falls back to the heap for oversized captures. perf_frame reports
+ * the per-event cost as `event_queue_ns_per_event` in BENCH_frame.json.
+ *
+ * Move-only by design: event callbacks are consumed exactly once, and a
+ * copyable wrapper would force every capture to be copyable too.
+ */
+
+#ifndef CHOPIN_UTIL_INLINE_FUNCTION_HH
+#define CHOPIN_UTIL_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace chopin
+{
+
+/** Move-only type-erased `void()` callable with small-buffer optimization. */
+class InlineFunction
+{
+  public:
+    /** Inline storage size: two cache-line-friendly capture words beyond a
+     *  typical [this, a, b, tick] event capture list. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    InlineFunction() noexcept = default;
+    InlineFunction(std::nullptr_t) noexcept {} // NOLINT(google-explicit-constructor)
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineFunction(F &&f) // NOLINT(google-explicit-constructor)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
+            ops = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf) = new Fn(std::forward<F>(f));
+            ops = &heapOps<Fn>;
+        }
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { destroy(); }
+
+    /** True when a callable is stored. */
+    explicit operator bool() const noexcept { return ops != nullptr; }
+
+    /** Invoke the stored callable (must hold one). */
+    void
+    operator()()
+    {
+        ops->invoke(buf);
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *storage);
+        /** Move-construct into @p dst from @p src, destroying @p src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *storage) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *s) { (*static_cast<Fn *>(s))(); },
+        [](void *dst, void *src) noexcept {
+            Fn *from = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        },
+        [](void *s) noexcept { static_cast<Fn *>(s)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *s) { (**static_cast<Fn **>(s))(); },
+        [](void *dst, void *src) noexcept {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        },
+        [](void *s) noexcept { delete *static_cast<Fn **>(s); },
+    };
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        ops = other.ops;
+        if (ops != nullptr) {
+            ops->relocate(buf, other.buf);
+            other.ops = nullptr;
+        }
+    }
+
+    void
+    destroy() noexcept
+    {
+        if (ops != nullptr) {
+            ops->destroy(buf);
+            ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf[kInlineBytes] = {};
+    const Ops *ops = nullptr;
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_UTIL_INLINE_FUNCTION_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * PartitionCap: the capability modelling partition-confined ownership of
+ * simulator state inside the epoch-parallel timing engine.
+ *
+ * Where SequentialCap (util/sequential.hh) says "exactly one coordinator
+ * thread, outside any parallelFor region", PartitionCap says "exactly one
+ * logical partition at a time" — the epoch engine (sim/parallel_engine.hh)
+ * advances all partitions concurrently on pool workers, and each
+ * partition's state (its event queue, pipeline-stage Resources, egress
+ * port mirror, span buffer) is touched only by whichever host thread is
+ * currently executing that partition's events. Between epochs the
+ * coordinator thread may also touch partition state (seeding events,
+ * committing mailboxes): at that point no partition is executing anywhere,
+ * so the access is race-free by the barrier.
+ *
+ * Concretely, assertOnPartition() accepts two situations:
+ *
+ *  1. the calling thread is inside the owner partition's PartitionScope
+ *     (an epoch worker running this partition's events); or
+ *  2. the calling thread is a coordinator: no PartitionScope is active and
+ *     the thread is not inside a parallelFor region (setup and
+ *     barrier-commit phases).
+ *
+ * What PartitionCap permits that SequentialCap forbids: mutation from
+ * inside a parallelFor region — but only from the one worker that holds
+ * the owner partition. What it forbids that SequentialCap permits:
+ * nothing; coordinator access between epochs remains legal. The two-level
+ * contract is documented in DESIGN.md §12.
+ *
+ * Like SequentialCap the capability is non-viral: assertOnPartition() is
+ * an ASSERT_CAPABILITY boundary assertion, not a REQUIRES contract, so
+ * callers need no annotations. The dynamic half is compiled out at
+ * CHOPIN_CHECK_LEVEL 0.
+ */
+
+#ifndef CHOPIN_UTIL_PARTITION_CAP_HH
+#define CHOPIN_UTIL_PARTITION_CAP_HH
+
+#include <cstdint>
+
+#include "util/check.hh" // CHOPIN_CHECK_LEVEL gating
+#include "util/thread_annotations.hh"
+
+namespace chopin
+{
+
+/** Identifier of a logical partition within one epoch engine (0-based,
+ *  dense). Partition i of a composition job owns GPU i's local state. */
+using PartitionId = std::uint32_t;
+
+/** Sentinel: the calling thread executes no partition (coordinator). */
+inline constexpr PartitionId kNoPartition = ~PartitionId(0);
+
+/** The partition the calling thread is currently executing, or
+ *  kNoPartition for coordinator threads. */
+PartitionId currentPartition();
+
+namespace detail
+{
+
+/** Out-of-line dynamic check: CHOPIN_ASSERTs the calling thread either
+ *  holds @p owner's PartitionScope or is a coordinator thread. */
+void failUnlessOnPartition(PartitionId owner, const char *what);
+
+} // namespace detail
+
+/**
+ * RAII marker entered by the epoch engine around one partition's event
+ * execution. Only sim/parallel_engine.cc constructs these; everything else
+ * just asserts. Nests by save/restore so the serial (jobs == 1) engine
+ * path can iterate partitions on the coordinator thread.
+ */
+class PartitionScope
+{
+  public:
+    explicit PartitionScope(PartitionId partition);
+    ~PartitionScope();
+    PartitionScope(const PartitionScope &) = delete;
+    PartitionScope &operator=(const PartitionScope &) = delete;
+
+  private:
+    PartitionId saved;
+};
+
+/** The partition-confined-ownership capability; see the file comment. */
+class CHOPIN_CAPABILITY("partition") PartitionCap
+{
+  public:
+    PartitionCap() = default;
+    explicit PartitionCap(PartitionId owner_id) : owner_(owner_id) {}
+    PartitionCap(const PartitionCap &) = default;
+    PartitionCap &operator=(const PartitionCap &) = default;
+
+    /** Late binding for containers built before ids are known. */
+    void bind(PartitionId owner_id) { owner_ = owner_id; }
+
+    PartitionId owner() const { return owner_; }
+
+    /**
+     * Establish the capability for the rest of the calling function.
+     * Deliberately NOT named assertHeld: the analyzer frontends classify
+     * assertHeld callees as sequential-capability sinks, and a partition
+     * assertion is the opposite claim (reachable from epoch workers).
+     */
+    void
+    assertOnPartition(const char *what) const CHOPIN_ASSERT_CAPABILITY(this)
+    {
+#if CHOPIN_CHECK_LEVEL >= 1
+        detail::failUnlessOnPartition(owner_, what);
+#else
+        (void)what;
+#endif
+    }
+
+  private:
+    PartitionId owner_ = kNoPartition;
+};
+
+} // namespace chopin
+
+#endif // CHOPIN_UTIL_PARTITION_CAP_HH

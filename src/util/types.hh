@@ -26,6 +26,10 @@ using GroupId = std::uint32_t;
 /** Sentinel for "no GPU" / "unassigned". */
 inline constexpr GpuId invalidGpu = ~GpuId(0);
 
+/** Largest representable simulated time; "run forever" / "never" sentinel
+ *  (EventQueue::run, epoch horizons). */
+inline constexpr Tick kTickMax = ~Tick(0);
+
 /** Byte counts for traffic accounting. */
 using Bytes = std::uint64_t;
 

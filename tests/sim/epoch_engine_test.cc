@@ -1,0 +1,321 @@
+/**
+ * @file
+ * ParallelEngine / PartitionedNet: the epoch-parallel engine's determinism
+ * contract (DESIGN.md §12). Synthetic workloads with cross-partition
+ * traffic must produce bit-identical event sequences, clocks and
+ * interconnect state at any host --jobs value; mailbox commits must follow
+ * the canonical (tick, src, seq) order; the lookahead window's exclusive
+ * bound must admit effects landing exactly at the epoch end; and the
+ * jobs == 1 path must never enter the barrier machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/interconnect.hh"
+#include "net/partitioned_net.hh"
+#include "sim/parallel_engine.hh"
+#include "util/check.hh"
+#include "util/thread_pool.hh"
+#include "util/types.hh"
+
+namespace chopin
+{
+namespace
+{
+
+/** Restore a deterministic single-job pool when a test exits. */
+struct ScopedJobs
+{
+    explicit ScopedJobs(unsigned jobs) { setGlobalJobs(jobs); }
+    ~ScopedJobs() { setGlobalJobs(1); }
+};
+
+/** One executed event, as observed by its own partition. */
+struct LogEntry
+{
+    PartitionId part;
+    Tick when;
+    int tag;
+
+    bool
+    operator==(const LogEntry &o) const
+    {
+        return part == o.part && when == o.when && tag == o.tag;
+    }
+};
+
+/**
+ * Token-ring workload: each partition seeds a token at a staggered tick;
+ * every hop does local work (two self-posts) and forwards the token to the
+ * next partition one lookahead later, for `hops` hops. Returns the
+ * concatenated per-partition logs (partition order, then execution order
+ * within a partition — a pure function of simulated time if the engine is
+ * deterministic).
+ */
+std::vector<LogEntry>
+runTokenRing(unsigned partitions, Tick lookahead, int hops,
+             Tick *end_out = nullptr)
+{
+    ParallelEngine engine(partitions, lookahead);
+    std::vector<std::vector<LogEntry>> logs(partitions);
+
+    struct Hop
+    {
+        ParallelEngine *engine;
+        std::vector<std::vector<LogEntry>> *logs;
+        unsigned partitions;
+        Tick lookahead;
+
+        void
+        run(PartitionId p, int remaining) const
+        {
+            Tick now = engine->now(p);
+            (*logs)[p].push_back({p, now, remaining});
+            // Partition-local follow-up work inside the same window.
+            engine->postAt(p, now + 1, [this, p, remaining]() {
+                (*logs)[p].push_back({p, engine->now(p), 1000 + remaining});
+            });
+            if (remaining == 0)
+                return;
+            PartitionId next = (p + 1) % partitions;
+            engine->sendAt(p, next, now + lookahead,
+                           [this, next, remaining]() {
+                               run(next, remaining - 1);
+                           });
+        }
+    };
+    Hop hop{&engine, &logs, partitions, lookahead};
+
+    for (PartitionId p = 0; p < partitions; ++p) {
+        engine.postAt(p, p * 3, [&hop, p, hops]() { hop.run(p, hops); });
+    }
+    Tick end = engine.run();
+    if (end_out != nullptr)
+        *end_out = end;
+
+    std::vector<LogEntry> merged;
+    for (const std::vector<LogEntry> &l : logs)
+        merged.insert(merged.end(), l.begin(), l.end());
+    return merged;
+}
+
+TEST(EpochEngine, TokenRingIsBitIdenticalAcrossJobs)
+{
+    ScopedJobs restore(1);
+    for (unsigned partitions : {2u, 5u, 8u}) {
+        for (Tick lookahead : {Tick(1), Tick(7), Tick(200)}) {
+            setGlobalJobs(1);
+            Tick serial_end = 0;
+            std::vector<LogEntry> serial =
+                runTokenRing(partitions, lookahead, 20, &serial_end);
+            EXPECT_FALSE(serial.empty());
+
+            for (unsigned jobs : {2u, 8u}) {
+                setGlobalJobs(jobs);
+                Tick end = 0;
+                std::vector<LogEntry> parallel =
+                    runTokenRing(partitions, lookahead, 20, &end);
+                EXPECT_EQ(end, serial_end)
+                    << partitions << " partitions, lookahead " << lookahead
+                    << ", jobs " << jobs;
+                EXPECT_EQ(parallel.size(), serial.size());
+                EXPECT_TRUE(parallel == serial)
+                    << "event log diverged at " << partitions
+                    << " partitions, lookahead " << lookahead << ", jobs "
+                    << jobs;
+            }
+        }
+    }
+}
+
+TEST(EpochEngine, MailboxCommitOrderIsCanonical)
+{
+    // Several sources target the same destination at the same tick: the
+    // destination must execute them in (tick, src, per-src seq) order, no
+    // matter which host worker ran each source or in what real-time order
+    // the mailboxes filled.
+    ScopedJobs restore(1);
+    for (unsigned jobs : {1u, 8u}) {
+        setGlobalJobs(jobs);
+        ParallelEngine engine(4, 10);
+        std::vector<int> arrivals; // written only by partition 3
+
+        for (PartitionId src : {PartitionId(2), PartitionId(0),
+                                PartitionId(1)}) {
+            engine.postAt(src, 0, [&engine, &arrivals, src]() {
+                // Two sends per source, same landing tick: per-src seq
+                // breaks the tie after the src id does.
+                for (int i = 0; i < 2; ++i) {
+                    int tag = static_cast<int>(src) * 10 + i;
+                    engine.sendAt(src, 3, 10, [&arrivals, tag]() {
+                        arrivals.push_back(tag);
+                    });
+                }
+            });
+        }
+        engine.run();
+        EXPECT_EQ(arrivals,
+                  (std::vector<int>{0, 1, 10, 11, 20, 21}))
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(EpochEngine, EffectExactlyAtEpochEndIsLegalAndOrdered)
+{
+    // The epoch bound is exclusive: with lookahead L, an event at tick T
+    // may send an effect landing exactly at T + L (the epoch end). This is
+    // precisely the wire-latency edge case — a zero-duration transfer sent
+    // at the epoch's first tick arrives exactly one lookahead later.
+    ScopedJobs restore(1);
+    constexpr Tick lookahead = 200;
+    ParallelEngine engine(2, lookahead);
+    std::vector<Tick> deliveries;
+    engine.postAt(0, 0, [&engine, &deliveries]() {
+        engine.sendAt(0, 1, lookahead, [&engine, &deliveries]() {
+            deliveries.push_back(engine.now(1));
+        });
+    });
+    Tick end = engine.run();
+    ASSERT_EQ(deliveries.size(), 1u);
+    EXPECT_EQ(deliveries[0], lookahead);
+    EXPECT_EQ(end, lookahead);
+    EXPECT_GE(engine.epochs(), 2u); // the effect ran in a later epoch
+}
+
+TEST(EpochEngine, SerialModeNeverEntersBarrierPath)
+{
+    ScopedJobs restore(1);
+    setGlobalJobs(1);
+    ParallelEngine engine(4, 5);
+    for (PartitionId p = 0; p < 4; ++p)
+        engine.postAt(p, 0, []() {});
+    engine.run();
+    EXPECT_FALSE(engine.usedBarrierPath());
+    EXPECT_GT(engine.eventsExecuted(), 0u);
+
+    setGlobalJobs(8);
+    ParallelEngine par(4, 5);
+    for (PartitionId p = 0; p < 4; ++p)
+        par.postAt(p, 0, []() {});
+    par.run();
+    EXPECT_TRUE(par.usedBarrierPath());
+}
+
+TEST(EpochEngine, HorizonJumpsOverEmptyTime)
+{
+    // Epochs are placed at the global minimum pending tick, not walked
+    // tick-by-tick: two events a million ticks apart cost O(1) epochs.
+    ScopedJobs restore(1);
+    ParallelEngine engine(2, 10);
+    engine.postAt(0, 0, []() {});
+    engine.postAt(1, 1000000, []() {});
+    Tick end = engine.run();
+    EXPECT_EQ(end, 1000000u);
+    EXPECT_LE(engine.epochs(), 3u);
+}
+
+TEST(PartitionedNetEpoch, TransfersAreBitIdenticalAcrossJobs)
+{
+    // All-to-all epoch traffic over a real Interconnect: delivery ticks,
+    // per-link byte counters and total traffic must be independent of the
+    // host job count. This exercises the egress-mirror replay inside
+    // Interconnect::commitTransfer and the (egress_begin, src, seq)
+    // commit order under genuine link/ingress contention.
+    ScopedJobs restore(1);
+    constexpr unsigned n = 4;
+    LinkParams link; // 64 B/cycle, 200 cycles
+
+    struct Outcome
+    {
+        std::vector<Tick> deliveries;
+        Bytes total = 0;
+        std::uint64_t messages = 0;
+        Tick last_delivery = 0;
+    };
+
+    auto run = [&]() {
+        Interconnect net(n, link);
+        ParallelEngine engine(n, link.latency);
+        PartitionedNet pnet(net, engine);
+        Outcome out;
+        out.deliveries.assign(n, 0);
+
+        for (GpuId src = 0; src < n; ++src) {
+            engine.postAt(src, src * 13, [&, src]() {
+                for (GpuId step = 1; step < n; ++step) {
+                    GpuId dst = (src + step) % n;
+                    Bytes bytes = 4096 * (src + 1) + 64 * step;
+                    pnet.send(src, dst, bytes, engine.now(src),
+                              TrafficClass::Composition,
+                              [&out, &engine, dst]() {
+                                  out.deliveries[dst] = std::max(
+                                      out.deliveries[dst],
+                                      engine.now(dst));
+                              });
+                }
+            });
+        }
+        engine.run();
+        out.total = net.traffic().total;
+        out.messages = net.traffic().messages;
+        out.last_delivery = net.lastDelivery();
+        net.checkFlowConservation();
+        net.checkDrained(out.last_delivery);
+        return out;
+    };
+
+    setGlobalJobs(1);
+    Outcome serial = run();
+    EXPECT_EQ(serial.messages, static_cast<std::uint64_t>(n) * (n - 1));
+
+    for (unsigned jobs : {2u, 8u}) {
+        setGlobalJobs(jobs);
+        Outcome parallel = run();
+        EXPECT_EQ(parallel.deliveries, serial.deliveries)
+            << "jobs=" << jobs;
+        EXPECT_EQ(parallel.total, serial.total) << "jobs=" << jobs;
+        EXPECT_EQ(parallel.messages, serial.messages) << "jobs=" << jobs;
+        EXPECT_EQ(parallel.last_delivery, serial.last_delivery)
+            << "jobs=" << jobs;
+    }
+}
+
+#if CHOPIN_CHECK_LEVEL >= 1
+TEST(EpochEngineDeath, SendInsideTheLookaheadWindowPanics)
+{
+    // A cross-partition effect landing before the current epoch's end
+    // breaks the conservative contract and must trip the engine's assert,
+    // not silently reorder.
+    EXPECT_DEATH(
+        {
+            ParallelEngine engine(2, 100);
+            engine.postAt(0, 50, [&engine]() {
+                engine.sendAt(0, 1, engine.now(0) + 1, []() {});
+            });
+            engine.run();
+        },
+        "inside the current epoch");
+}
+
+TEST(EpochEngineDeath, PartitionStateTouchedFromWrongPartitionPanics)
+{
+    // PartitionCap's dynamic check: partition 0's event reaching into
+    // partition 1's queue is exactly the cross-partition mutation the
+    // mailbox discipline exists to prevent.
+    EXPECT_DEATH(
+        {
+            ParallelEngine engine(2, 100);
+            engine.postAt(0, 0, [&engine]() {
+                engine.postAt(1, 500, []() {}); // wrong: must use sendAt
+            });
+            engine.run();
+        },
+        "partition");
+}
+#endif
+
+} // namespace
+} // namespace chopin

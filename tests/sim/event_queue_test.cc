@@ -68,6 +68,46 @@ TEST(EventQueue, RunUntilLeavesLaterEvents)
     EXPECT_EQ(fired, 2);
 }
 
+TEST(EventQueue, RunUntilTickMaxDrainsEverything)
+{
+    // run() is runUntil(kTickMax): the named sentinel replaces the old
+    // inline ~Tick(0), and events at the extreme representable tick still
+    // execute rather than being fenced out.
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(0, [&] { ++fired; });
+    eq.schedule(kTickMax, [&] { ++fired; });
+    Tick end = eq.runUntil(kTickMax);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(end, kTickMax);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, SameTickFifoSurvivesHeapChurn)
+{
+    // The FIFO tie-break must hold even when the heap is churned by pops
+    // and re-pushes between insertions at the tied tick — the regime the
+    // partition-merge commit puts the heap in (batches of same-tick
+    // entries interleaved with execution). Events at tick 100 are
+    // scheduled from several earlier events; execution order must be
+    // exactly global insertion order.
+    EventQueue eq;
+    std::vector<int> order;
+    int next_tag = 0;
+    for (Tick t = 1; t <= 5; ++t) {
+        eq.schedule(t, [&eq, &order, &next_tag] {
+            for (int i = 0; i < 4; ++i) {
+                int tag = next_tag++;
+                eq.schedule(100, [&order, tag] { order.push_back(tag); });
+            }
+        });
+    }
+    eq.run();
+    ASSERT_EQ(order.size(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
 TEST(EventQueue, ResetClearsEverything)
 {
     EventQueue eq;

@@ -57,6 +57,17 @@ struct EventQueue {
 struct Net {
   void drain(Tick upTo) CHOPIN_REQUIRES(seq);
 };
+
+struct PartitionCap {
+  void assertOnPartition(const char *) const {}
+};
+
+struct ParallelEngine {
+  template <typename F>
+  void postAt(unsigned, Tick, F &&f) { f(); }
+  template <typename F>
+  void sendAt(unsigned, unsigned, Tick, F &&f) { f(); }
+};
 """
 
 _SEQ_REACH_CC = """\
@@ -108,6 +119,52 @@ void goodWideNet(ThreadPool &pool, WideNet &wn) {
 void badStoredLambda(ThreadPool &pool, EventQueue &q, Tick *out) {
   auto task = [&](unsigned i) { out[i] = peekNow(q); };
   pool.parallelFor(2, task);  // VIOLATION seq-reach: stored worker lambda
+}
+"""
+
+_PARTITION_CC = """\
+#include "stubs.hh"
+
+void badPartitionEvent(ParallelEngine &engine, EventQueue &q, Tick *out) {
+  engine.postAt(0, 5, [&]() {
+    out[0] = q.now();  // VIOLATION seq-reach: sequential sink from an
+                       // epoch-partition event
+  });
+}
+
+void badMailboxDelivery(ParallelEngine &engine, EventQueue &q, Tick *out) {
+  engine.postAt(0, 5, [&]() {
+    engine.sendAt(0, 1, 200, [&]() {
+      out[1] = q.now();  // VIOLATION seq-reach: sink on the delivery side
+    });
+  });
+}
+
+struct EgressPort {
+  PartitionCap cap;
+  Tick free_at = 0;
+  Tick claimAt(Tick t) {
+    cap.assertOnPartition("EgressPort::claimAt");  // partition-owned:
+    free_at = t;                                   // legal from events
+    return t;
+  }
+};
+
+void goodPartitionLocal(ParallelEngine &engine, EgressPort &port) {
+  engine.postAt(0, 5, [&]() { port.claimAt(10); });
+}
+
+void goodMailboxSend(ParallelEngine &engine, Tick *out) {
+  engine.postAt(0, 5, [&]() {
+    engine.sendAt(0, 1, 200, [out]() { out[1] = 7; });
+  });
+}
+
+void suppressedPartitionEvent(ParallelEngine &engine, EventQueue &q,
+                              Tick *out) {
+  engine.postAt(0, 5, [&]() {  // chopin-analyze: allow(seq-reach)
+    out[0] = q.now();
+  });
 }
 """
 
@@ -194,6 +251,7 @@ Tick goodReturn(Tick t) { return t + 1; }
 FIXTURE_FILES = {
     "src/stubs.hh": _STUBS_HH,
     "src/seq_reach.cc": _SEQ_REACH_CC,
+    "src/partition.cc": _PARTITION_CC,
     "src/lock.hh": _LOCK_HH,
     "src/lock.cc": _LOCK_CC,
     "src/det_float.cc": _DET_FLOAT_CC,
@@ -212,6 +270,12 @@ EXPECTATIONS = [
     ("seq-reach", "src/seq_reach.cc", "goodPureFanout", False),
     ("seq-reach", "src/seq_reach.cc", "WideNet::drain", False),
     ("seq-reach", "src/seq_reach.cc", "badStoredLambda", True, ("clang",)),
+    ("seq-reach", "src/partition.cc", "badPartitionEvent", True),
+    ("seq-reach", "src/partition.cc", "badMailboxDelivery", True),
+    ("seq-reach", "src/partition.cc", "goodPartitionLocal", False),
+    ("seq-reach", "src/partition.cc", "claimAt", False),
+    ("seq-reach", "src/partition.cc", "goodMailboxSend", False),
+    ("seq-reach", "src/partition.cc", "suppressedPartitionEvent", False),
     ("lock-coverage", "src/lock.hh", "Registry::version", True),
     ("lock-coverage", "src/lock.hh", "Registry::hits", False),
     ("lock-coverage", "src/lock.hh", "Registry::capacity", False),

@@ -140,6 +140,7 @@ class _TuWalker:
             "qualname": _qualname(cursor) if kind != "lambda" else "",
             "kind": kind, "file": rel, "line": line, "enclosing": "",
             "calls": [], "parallel_callbacks": [],
+            "partition_callbacks": [], "asserts_partition": False,
             "asserts_sequential": False, "requires_sequential": False,
             "scenario_barrier": False, "captures_ref": False,
             "compound_float_writes": [], "narrow_conversions": [],
@@ -271,7 +272,8 @@ class _TuWalker:
 
     def _record_call(self, cursor, node: dict) -> str | None:
         """Record a call edge; returns the callee simple name when the
-        call is a ThreadPool entry point (parallelFor/submit)."""
+        call is a ThreadPool entry point (parallelFor/submit) or an
+        epoch-partition event post (postAt/sendAt)."""
         ref = cursor.referenced
         name = cursor.spelling or (ref.spelling if ref else "")
         if not name:
@@ -282,7 +284,9 @@ class _TuWalker:
         simple = (qual or name).split("::")[-1]
         if simple in ("assertHeld", "assertSequential"):
             node["asserts_sequential"] = True
-        if simple in ("parallelFor", "submit"):
+        if simple == "assertOnPartition":
+            node["asserts_partition"] = True
+        if simple in ("parallelFor", "submit", "postAt", "sendAt"):
             return simple
         return None
 
@@ -303,7 +307,10 @@ class _TuWalker:
             if c.kind == ck.LAMBDA_EXPR:
                 lam = self.lambda_nodes.get(c.hash)
                 if lam is not None:
-                    node["parallel_callbacks"].append(
+                    dest = "partition_callbacks" \
+                        if callee in ("postAt", "sendAt") \
+                        else "parallel_callbacks"
+                    node[dest].append(
                         {"callee": callee,
                          "line": call_cursor.location.line,
                          "lambda_id": lam["id"]})

@@ -46,39 +46,53 @@ def _node_label(f: dict) -> str:
 
 
 def seq_reach(model: ir.ProgramModel) -> list[Finding]:
-    """No sequential-only function may be reachable from a worker lambda.
+    """No sequential-only function may be reachable from a worker lambda
+    or an epoch-partition event callback.
 
     Roots: every lambda recorded as a parallel_callback of some function
-    (passed to ThreadPool::parallelFor or ThreadPool::submit). Traversal
-    follows resolved calls and lexically nested lambdas, and stops at any
-    node that constructs a ScenarioRegion — such a node runs a private,
-    self-owned simulation where sequential state is legal (the sweep
-    engine's per-scenario stages).
+    (passed to ThreadPool::parallelFor or ThreadPool::submit), and every
+    lambda recorded as a partition_callback (posted as an epoch event via
+    ParallelEngine::postAt / sendAt — partition events run on pool workers
+    inside conservative epochs, so touching coordinator-only state from
+    one is the same race). Traversal follows resolved calls and lexically
+    nested lambdas, and stops at any node that constructs a ScenarioRegion
+    — such a node runs a private, self-owned simulation where sequential
+    state is legal (the sweep engine's per-scenario stages).
 
     Sinks: asserts_sequential (body calls SequentialCap::assertHeld /
     assertSequential) or requires_sequential (CHOPIN_REQUIRES over the
-    sequential capability).
+    sequential capability). asserts_partition (PartitionCap::
+    assertOnPartition) is NOT a sink — partition-owned state is exactly
+    what partition callbacks are allowed to touch.
     """
     findings: list[Finding] = []
 
-    roots: list[tuple[dict, dict]] = []  # (owner function, lambda node)
+    # (owner function, lambda node, root kind)
+    roots: list[tuple[dict, dict, str]] = []
     for f in model.functions:
         for cb in f.get("parallel_callbacks", []):
             lam = model.by_id.get(cb["lambda_id"])
             if lam is not None:
-                roots.append((f, lam))
+                roots.append((f, lam, "worker"))
+        for cb in f.get("partition_callbacks", []):
+            lam = model.by_id.get(cb["lambda_id"])
+            if lam is not None:
+                roots.append((f, lam, "partition"))
 
     def is_sink(f: dict) -> bool:
         return bool(f.get("asserts_sequential") or
                     f.get("requires_sequential"))
 
-    for owner, lam in roots:
+    for owner, lam, kind in roots:
         if lam.get("scenario_barrier"):
             continue
         # BFS from the lambda, recording one witness path per sink.
         seen = {lam["id"]}
         queue: list[tuple[dict, list[str]]] = [(lam, [_node_label(lam)])]
         reported: set[str] = set()
+        root_desc = "worker lambda (passed to ThreadPool in " \
+            if kind == "worker" else \
+            "partition callback (posted via ParallelEngine in "
         while queue:
             node, path = queue.pop(0)
             for call in node.get("calls", []):
@@ -94,7 +108,7 @@ def seq_reach(model: ir.ProgramModel) -> list[Finding]:
                     seen.add(tgt["id"])
                     tpath = path + [_node_label(tgt)]
                     if is_sink(tgt):
-                        key = f"{_node_label(owner)}::<worker>" \
+                        key = f"{_node_label(owner)}::<{kind}>" \
                               f"->{_node_label(tgt)}"
                         if key in reported:
                             continue
@@ -108,8 +122,7 @@ def seq_reach(model: ir.ProgramModel) -> list[Finding]:
                             line=lam["line"],
                             key=key,
                             message=(
-                                f"worker lambda (passed to ThreadPool in "
-                                f"{_node_label(owner)}) reaches "
+                                f"{root_desc}{_node_label(owner)}) reaches "
                                 f"sequential-only {_node_label(tgt)} via "
                                 f"{' -> '.join(tpath)}"),
                         ))

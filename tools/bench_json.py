@@ -7,18 +7,24 @@ CI:
 
   python3 tools/bench_json.py BENCH_frame.json
   python3 tools/bench_json.py BENCH_sweep.json --min-speedup 3.0
+  python3 tools/bench_json.py BENCH_frame.json --series timing --min-speedup 1.5
   python3 tools/bench_json.py new.json --compare old.json
 
 Both producers share the contract: top-level `results` / `gmean_speedup` /
 `jobs_parallel`, per-result `bench, scheme, tris, ns_frame_serial,
 ns_frame_parallel, mtris_per_s, speedup, frame_hash, cycles`. sweep_all
 additionally emits a `cache` block (hit rates and per-phase counters),
-which is reported when present.
+which is reported when present. perf_frame additionally emits the
+epoch-parallel engine series (`timing_speedup`, `timing_ns_serial`,
+`timing_ns_parallel`, `timing_events`, `event_queue_ns_per_event`); these
+keys are optional so older dumps stay valid.
 
---min-speedup fails (exit 1) when the geometric-mean --jobs=N over --jobs=1
-speedup is below the bound (only meaningful on multi-core machines; the
-harness itself already asserts bit-identical simulation results at every
-job count, which is the correctness gate).
+--min-speedup fails (exit 1) when the selected speedup series is below the
+bound. --series picks which one: `gmean` (default) is the geometric-mean
+--jobs=N over --jobs=1 frame-rendering speedup, `timing` is the
+epoch-parallel timing-engine speedup. Only meaningful on multi-core
+machines; the harness itself already asserts bit-identical simulation
+results at every job count, which is the correctness gate.
 
 --compare checks that frame hashes and simulated cycle counts of matching
 (bench, scheme) pairs are identical between two runs — e.g. a --jobs=1 run
@@ -62,6 +68,11 @@ def report(data: dict) -> None:
               f"{r['mtris_per_s']:>9.2f} "
               f"{r['speedup']:>7.2f}x")
     print(f"\ngeometric-mean speedup: {data['gmean_speedup']:.2f}x")
+    if "timing_speedup" in data:
+        print(f"epoch timing engine: {data['timing_speedup']:.2f}x speedup "
+              f"({data.get('timing_events', '?')} events)")
+    if "event_queue_ns_per_event" in data:
+        print(f"event queue: {data['event_queue_ns_per_event']:.1f} ns/event")
     cache = data.get("cache")
     if cache:
         print(f"result cache: dir={cache.get('dir', '?')} "
@@ -104,7 +115,13 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("json_path", help="BENCH_frame.json from perf_frame")
     parser.add_argument("--min-speedup", type=float, default=None,
-                        help="fail if gmean speedup is below this bound")
+                        help="fail if the selected speedup series is below "
+                             "this bound")
+    parser.add_argument("--series", choices=("gmean", "timing"),
+                        default="gmean",
+                        help="which speedup series --min-speedup gates: "
+                             "frame-rendering gmean or the epoch-parallel "
+                             "timing engine (default: gmean)")
     parser.add_argument("--compare", metavar="BASELINE", default=None,
                         help="check hashes/cycles against another dump")
     args = parser.parse_args()
@@ -117,13 +134,19 @@ def main() -> int:
         if compare(data, load(args.compare)) != 0:
             status = 1
     if args.min_speedup is not None:
-        g = data["gmean_speedup"]
+        key = "gmean_speedup" if args.series == "gmean" else "timing_speedup"
+        if key not in data:
+            sys.exit(f"{args.json_path}: missing key '{key}' "
+                     f"(--series {args.series} needs a dump that emits it)")
+        g = data[key]
+        label = ("gmean" if args.series == "gmean"
+                 else "timing-engine") + " speedup"
         if g < args.min_speedup:
-            print(f"FAIL: gmean speedup {g:.2f}x < required "
+            print(f"FAIL: {label} {g:.2f}x < required "
                   f"{args.min_speedup:.2f}x", file=sys.stderr)
             status = 1
         else:
-            print(f"OK: gmean speedup {g:.2f}x >= {args.min_speedup:.2f}x")
+            print(f"OK: {label} {g:.2f}x >= {args.min_speedup:.2f}x")
     return status
 
 

@@ -53,6 +53,15 @@ remediation recipe of each finding):
                 JsonWriter / writeMetricsJson in stats/report.hh) so every
                 harness emits one schema instead of hand-rolled prints.
 
+  partition-mailbox
+                No direct serial-path calls (Interconnect::transfer,
+                blockIngressUntil, Tracer::span) inside the epoch-partition
+                layer (src/sim/partition*, src/sim/parallel_engine*,
+                src/net/partitioned_net*, src/sfr/epoch_*) — partition
+                callbacks run concurrently, so cross-partition effects must
+                flow through PartitionedNet::send / the barrier commit API,
+                and spans must stage in SpanBuffers flushed at barriers.
+
   stale-allow   Every `// chopin-lint: allow(...)` must still be doing
                 work: naming a rule that exists, applies to the file, and
                 fires on that line. Suppressions outlive refactors; this
@@ -172,6 +181,12 @@ def in_bench_outside_harness(rel: str) -> bool:
     return rel.startswith("bench/") and not rel.startswith("bench/common.")
 
 
+def in_partition_layer(rel: str) -> bool:
+    """Sources whose code runs inside epoch-partition callbacks."""
+    return rel.startswith(("src/sim/partition", "src/sim/parallel_engine",
+                           "src/net/partitioned_net", "src/sfr/epoch_"))
+
+
 RNG_RE = re.compile(
     r"(?<![\w:])(?:std::)?(?:rand|srand|drand48|random_device)\s*\(|"
     r"std::random_device\b")
@@ -200,6 +215,12 @@ STATS_PRINT_RE = re.compile(
     r"<<.*\.(?:cycles|frame_hash|content_hash|traffic|breakdown|totals|"
     r"geom_busy|raster_busy|frag_busy|sched_status_bytes|groups_total|"
     r"groups_distributed|tris_distributed|retained_culled)\b")
+# Serial-path entry points that are illegal inside partition callbacks:
+# transfer()/blockIngressUntil() mutate shared interconnect state under
+# SequentialCap, span() emits directly into the coordinator-owned Tracer.
+# (commitTransfer is the sanctioned barrier-side API and does not match.)
+PARTITION_MAILBOX_RE = re.compile(
+    r"(?:->|\.)\s*(?:transfer|blockIngressUntil|span)\s*\(")
 
 
 def check_rng(code: str) -> Optional[str]:
@@ -288,6 +309,15 @@ def check_bench_stats_print(code: str) -> Optional[str]:
     return None
 
 
+def check_partition_mailbox(code: str) -> Optional[str]:
+    if PARTITION_MAILBOX_RE.search(code):
+        return ("serial-path call inside the epoch-partition layer; "
+                "partition callbacks run concurrently, so cross-partition "
+                "effects must flow through PartitionedNet::send / the "
+                "barrier commit API and spans through SpanBuffer")
+    return None
+
+
 def check_naked_sync(code: str) -> Optional[str]:
     if NAKED_SYNC_RE.search(code) and "CHOPIN_GUARDED_BY" not in code and \
             "CHOPIN_PT_GUARDED_BY" not in code:
@@ -361,6 +391,17 @@ RULES = [
          "`// chopin-lint: allow(bench-runscheme)` with a justification",
          in_bench_outside_harness,
          check_bench_runscheme),
+    Rule("partition-mailbox",
+         "epoch-partition code uses the mailbox commit API, not the "
+         "serial paths",
+         "route the transfer through PartitionedNet::send (replayed at the "
+         "epoch barrier via Interconnect::commitTransfer) and stage spans "
+         "in a SpanBuffer flushed by a barrier hook; if the call is "
+         "genuinely on the sequential coordinator path (setup, post-run "
+         "reporting), append `// chopin-lint: allow(partition-mailbox)` "
+         "with a justification",
+         in_partition_layer,
+         check_partition_mailbox),
     Rule("bench-stats-print",
          "bench counter output flows through the registry serializers",
          "route the value through TextTable rows or JsonWriter fields "
@@ -533,6 +574,24 @@ SELFTEST_CASES = [
      False),
     ("bench-stats-print", "bench/common.cc",
      "std::cout << r.cycles << \"\\n\";", False),  # harness layer exempt
+    ("partition-mailbox", "src/net/partitioned_net.cc",
+     "Tick d = net_.transfer(src, dst, bytes, t, cls);", True),
+    ("partition-mailbox", "src/sfr/epoch_compose.cc",
+     "ctx.tracer->span(track, \"comp\", \"merge\", a, b);", True),
+    ("partition-mailbox", "src/sfr/epoch_compose.cc",
+     "net.blockIngressUntil(dst, t);", True),
+    ("partition-mailbox", "src/net/partitioned_net.cc",
+     "Tick d = net_.commitTransfer(src, dst, bytes, t, cls);",
+     False),  # the barrier-side API is the sanctioned path
+    ("partition-mailbox", "src/sfr/epoch_compose.cc",
+     "spans[g].record(tracks[g], \"comp\", \"merge\", a, b);",
+     False),  # staged spans are the point
+    ("partition-mailbox", "src/sfr/comp_scheduler.cc",
+     "Tick d = net.transfer(src, dst, bytes, t, cls);",
+     False),  # serial composers are out of scope
+    ("partition-mailbox", "src/sfr/epoch_compose.cc",
+     "net.transfer(s, d, b, t, c); // chopin-lint: allow(partition-mailbox)",
+     False),
     # Legacy suppression spelling still honored.
     ("rng", "src/gfx/raster.cc",
      "int x = rand(); // lint:allow(rng)", False),

@@ -85,6 +85,29 @@ def main() -> int:
            runTool(root, fast, "--min-speedup", "2.0"),
            want_exit=0, want_in_output="OK: gmean speedup")
 
+    # The timing series (epoch-parallel engine) is gated independently of
+    # the frame gmean: run_slow has a healthy gmean fixture sibling but a
+    # 1.01x timing engine, which the timing gate must reject.
+    expect("timing series reported",
+           runTool(root, fast),
+           want_exit=0, want_in_output="epoch timing engine: 2.91x")
+    expect("timing min-speedup accepts run_fast",
+           runTool(root, fast, "--series", "timing", "--min-speedup", "1.5"),
+           want_exit=0, want_in_output="OK: timing-engine speedup")
+    expect("timing min-speedup rejects run_slow",
+           runTool(root, slow, "--series", "timing", "--min-speedup", "1.5"),
+           want_exit=1, want_in_output="FAIL: timing-engine speedup")
+
+    # Dumps that predate the timing series stay loadable (the keys are
+    # optional), but gating on the absent series is a hard error.
+    expect("old dump without timing keys still loads",
+           runTool(root, badhash),
+           want_exit=0, want_in_output="geometric-mean speedup")
+    expect("timing gate on old dump is a hard error",
+           runTool(root, badhash, "--series", "timing",
+                   "--min-speedup", "1.5"),
+           want_exit=1, want_in_output="missing key 'timing_speedup'")
+
     # Malformed input (missing top-level keys) is a hard error, not a pass.
     expect("malformed dump rejected",
            runTool(root, str(data / "run_malformed.json")),
