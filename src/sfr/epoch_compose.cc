@@ -205,13 +205,28 @@ struct SchedCtx
     {
     }
 
+    /** Delivery tick one status hop after partition @p p's local now.
+     *
+     *  The status hop is one wire latency, and the engine's lookahead is
+     *  constructed from that same latency (composeOpaqueDirectSendEpoch
+     *  passes net.params().latency to both), so the cross-partition send
+     *  contract `when >= now + lookahead` holds for every tick minted
+     *  here. The check keeps that coupling honest if either side changes.
+     */
+    Tick
+    statusHop(PartitionId p) const
+    {
+        CHOPIN_DCHECK(statusDelay >= ep.engine.lookahead(),
+                      "status hop shorter than the epoch lookahead");
+        return ep.engine.now(p) + statusDelay;
+    }
+
     /** Deliver @p cb to the scheduler partition one status hop from now on
      *  partition @p from (sendAt for remote GPUs, postAt for GPU 0). */
     void
     toScheduler(GpuId from, InlineFunction cb)
     {
-        Tick at = ep.engine.now(static_cast<PartitionId>(from)) +
-                  statusDelay;
+        Tick at = statusHop(static_cast<PartitionId>(from));
         if (from == 0)
             ep.engine.postAt(0, at, std::move(cb));
         else
@@ -224,7 +239,7 @@ struct SchedCtx
     void
     toGpu(GpuId to, InlineFunction cb)
     {
-        Tick at = ep.engine.now(0) + statusDelay;
+        Tick at = statusHop(0);
         if (to == 0)
             ep.engine.postAt(0, at, std::move(cb));
         else

@@ -119,6 +119,11 @@ ParallelEngine::run()
             }
         } else {
             usedBarrier = true;
+            // run() IS the epoch enforcement point: each worker enters
+            // PartitionScope(p) and touches only parts[p] within its own
+            // [begin, bound) range, so the parts alias cannot cross a
+            // partition boundary.
+            // chopin-analyze: allow(partition-escape)
             globalPool().parallelFor(n, 1, [&](std::size_t begin,
                                                std::size_t bound) {
                 for (std::size_t p = begin; p < bound; ++p) {

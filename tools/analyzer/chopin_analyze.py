@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
+import os
 import pathlib
 import sys
 import tempfile
@@ -34,6 +36,7 @@ import frontend_clang  # noqa: E402
 import frontend_lite  # noqa: E402
 import ir  # noqa: E402
 import passes as passes_mod  # noqa: E402
+import sarif as sarif_mod  # noqa: E402
 
 EXIT_OK = 0
 EXIT_FINDINGS = 1
@@ -73,43 +76,73 @@ def _pick_frontend(requested: str, build_dir: pathlib.Path) -> str:
     return "clang" if reason is None and have_ccj else "lite"
 
 
+def _parse_one(task):
+    """Pool worker: parse one TU. Module-level so it pickles."""
+    root_str, rel, frontend, args = task
+    root = pathlib.Path(root_str)
+    if frontend == "clang":
+        return rel, frontend_clang.parse_file(root, rel, args)
+    return rel, frontend_lite.parse_file(root, rel)
+
+
 def analyze(root: pathlib.Path, build_dir: pathlib.Path, frontend: str,
-            summary_cache, only: list[str] | None = None):
+            summary_cache, only: list[str] | None = None, jobs: int = 1):
     """Run the frontends + passes; returns (findings, stats)."""
     files = _source_files(root)
-    summaries: list[dict] = []
     compile_args: dict[str, list[str]] = {}
     if frontend == "clang":
         compile_args = frontend_clang.load_compile_commands(build_dir)
 
-    parsed = 0
+    # Split cache hits from parse work up front so the misses can fan
+    # out over a process pool; `order` preserves the deterministic
+    # sorted-file sequence the merge expects regardless of which worker
+    # finishes first.
+    order: list[str] = []
+    by_rel: dict[str, dict] = {}
+    contents: dict[str, bytes] = {}
+    pending: list[tuple] = []
     for rel in files:
         content = (root / rel).read_bytes()
         summary = summary_cache.get(rel, content)
-        if summary is None:
-            if frontend == "clang":
-                if rel.endswith(".hh"):
-                    continue  # headers arrive through including TUs
-                args = compile_args.get(str((root / rel).resolve()))
-                if args is None:
-                    continue  # not in the build: compile_commands
-                    # coverage ctest reports this separately
-                summary = frontend_clang.parse_file(root, rel, args)
-            else:
-                summary = frontend_lite.parse_file(root, rel)
-            summary_cache.put(rel, content, summary)
-            parsed += 1
-        summaries.append(summary)
+        if summary is not None:
+            by_rel[rel] = summary
+            order.append(rel)
+            continue
+        args = None
+        if frontend == "clang":
+            if rel.endswith(".hh"):
+                continue  # headers arrive through including TUs
+            args = compile_args.get(str((root / rel).resolve()))
+            if args is None:
+                continue  # not in the build: compile_commands
+                # coverage ctest reports this separately
+        contents[rel] = content
+        pending.append((str(root), rel, frontend, args))
+        order.append(rel)
 
-    model = ir.merge(summaries)
-    findings = passes_mod.run_passes(model, only)
+    if len(pending) > 1 and jobs > 1:
+        with multiprocessing.Pool(min(jobs, len(pending))) as pool:
+            results = pool.map(_parse_one, pending)
+    else:
+        results = [_parse_one(t) for t in pending]
+    # Cache writes stay in the parent so each summary lands on disk
+    # exactly once, whatever the worker count.
+    for rel, summary in results:
+        summary_cache.put(rel, contents[rel], summary)
+        by_rel[rel] = summary
+
+    model = ir.merge([by_rel[rel] for rel in order])
+    timings: dict[str, float] = {}
+    findings = passes_mod.run_passes(model, only, timings)
     stats = {
         "files": len(files),
-        "parsed": parsed,
+        "parsed": len(pending),
+        "jobs": jobs,
         "cache_hits": summary_cache.hits,
         "cache_misses": summary_cache.misses,
         "functions": len(model.functions),
         "classes": len(model.classes),
+        "pass_seconds": timings,
     }
     return findings, stats
 
@@ -154,9 +187,12 @@ def run_self_test(frontend_req: str, verbose: bool) -> int:
             tmpdir = pathlib.Path(tmp)
             fixtures.materialize(tmpdir)
             cache_dir = tmpdir / "cache"
-            # Two runs: cold, then warm (must hit cache, same findings).
+            # Two runs: cold with a 2-worker pool (exercises the
+            # multiprocessing path), then warm and serial (must hit the
+            # cache and reproduce the findings bit-for-bit).
             sc = cache_mod.SummaryCache(cache_dir, fe)
-            findings, stats = analyze(tmpdir, tmpdir / "build", fe, sc)
+            findings, stats = analyze(tmpdir, tmpdir / "build", fe, sc,
+                                      jobs=2)
             sc2 = cache_mod.SummaryCache(cache_dir, fe)
             findings2, stats2 = analyze(tmpdir, tmpdir / "build", fe, sc2)
             if stats2["cache_hits"] == 0:
@@ -197,6 +233,13 @@ def main(argv: list[str] | None = None) -> int:
                     default="auto")
     ap.add_argument("--json", type=pathlib.Path, default=None,
                     help="write the JSON report here")
+    ap.add_argument("--sarif", type=pathlib.Path, default=None,
+                    help="write a SARIF 2.1.0 log of current findings "
+                         "here (for code-scanning upload)")
+    ap.add_argument("--jobs", "-j", type=int, default=0,
+                    help="parallel TU parse workers; 0 = "
+                         "$CHOPIN_ANALYZE_JOBS, else cpu count capped "
+                         "at 8")
     ap.add_argument("--baseline", type=pathlib.Path, default=None,
                     help="baseline file (default: tools/analyzer/"
                          "baseline.json)")
@@ -227,6 +270,11 @@ def main(argv: list[str] | None = None) -> int:
     root = args.root.resolve()
     build_dir = (args.build_dir or root / "build").resolve()
     frontend = _pick_frontend(args.frontend, build_dir)
+    jobs = args.jobs
+    if jobs <= 0:
+        jobs = int(os.environ.get("CHOPIN_ANALYZE_JOBS", "0") or "0")
+    if jobs <= 0:
+        jobs = min(os.cpu_count() or 1, 8)
     baseline_path = args.baseline or \
         root / "tools" / "analyzer" / "baseline.json"
 
@@ -238,7 +286,7 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         findings, stats = analyze(root, build_dir, frontend, summary_cache,
-                                  args.only)
+                                  args.only, jobs=jobs)
     except Exception as e:  # noqa: BLE001 — report, don't traceback-spam
         if args.verbose:
             raise
@@ -270,6 +318,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(report, indent=2) + "\n")
+    if args.sarif:
+        pass_docs = {name: (fn.__doc__ or "")
+                     for name, fn in passes_mod.PASSES.items()}
+        doc = sarif_mod.to_sarif(findings, TOOL_VERSION, pass_docs,
+                                 str(root))
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_text(json.dumps(doc, indent=2) + "\n")
 
     for f in new:
         print(f"{f.file}:{f.line}: [{f.rule}] {f.message}")

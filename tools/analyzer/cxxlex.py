@@ -12,7 +12,13 @@ lexer: it only guarantees the properties the analyzer needs —
     STR token, so braces and parens inside literals never unbalance the
     scanner;
   - preprocessor directives (#include, #if, ...) are consumed whole,
-    including continuation lines, and do not appear in the stream.
+    including continuation lines, and do not appear in the stream;
+  - `#if 0` / `#if false` regions are skipped entirely (tracking nested
+    conditionals, resuming at the matching #endif or a top-level #else),
+    so disabled code can never contribute tokens, braces, or statements
+    to CFG construction;
+  - a backslash-newline inside ordinary code is a pure line continuation
+    and never reaches the token stream.
 
 Everything else — identifiers, numbers, punctuation — comes through as-is.
 """
@@ -40,6 +46,11 @@ _PUNCTS = [
 _ID_START = set("abcdefghijklmnopqrstuvwxyz"
                 "ABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
 _ID_CONT = _ID_START | set("0123456789")
+
+_IF_DEAD_RE = re.compile(r"#\s*if\s+(0|false)\b")
+_IF_OPEN_RE = re.compile(r"#\s*if(\s|def|ndef)")
+_ENDIF_RE = re.compile(r"#\s*endif\b")
+_ELSE_RE = re.compile(r"#\s*(else\b|elif\b)")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -119,6 +130,15 @@ def lex(source: str) -> tuple[list[Token], dict[int, list[str]]]:
             line += source.count("\n", i, end + 2)
             i = end + 2
             continue
+        # Backslash-newline in ordinary code: pure line continuation.
+        if c == "\\":
+            j = i + 1
+            while j < n and source[j] in " \t\r":
+                j += 1
+            if j < n and source[j] == "\n":
+                line += 1
+                i = j + 1
+                continue
         # Preprocessor directive: only when # starts the line (ignoring
         # leading whitespace). Consume through continuations.
         if c == "#":
@@ -130,20 +150,50 @@ def lex(source: str) -> tuple[list[Token], dict[int, list[str]]]:
                     break
                 j -= 1
             if at_line_start:
-                while i < n:
-                    end = source.find("\n", i)
-                    if end == -1:
-                        i = n
-                        break
-                    # Continuation if the line ends with a backslash.
-                    k = end - 1
-                    while k >= 0 and source[k] in " \t\r":
-                        k -= 1
-                    cont = k >= 0 and source[k] == "\\"
-                    line += 1
-                    i = end + 1
-                    if not cont:
-                        break
+                def directive(pos: int, ln: int) -> tuple[str, int, int]:
+                    """Consume one directive (with continuations); return
+                    its logical text and the new (pos, line)."""
+                    parts = []
+                    while pos < n:
+                        end = source.find("\n", pos)
+                        if end == -1:
+                            parts.append(source[pos:n])
+                            return " ".join(parts), n, ln
+                        k = end - 1
+                        while k >= 0 and source[k] in " \t\r":
+                            k -= 1
+                        cont = k >= 0 and source[k] == "\\"
+                        parts.append(source[pos:k + 1] if cont
+                                     else source[pos:end])
+                        ln += 1
+                        pos = end + 1
+                        if not cont:
+                            break
+                    return " ".join(parts), pos, ln
+
+                text, i, line = directive(i, line)
+                if _IF_DEAD_RE.match(text.lstrip()):
+                    # Skip the disabled region: nothing inside an
+                    # `#if 0` block may contribute tokens (or allow()
+                    # suppressions). Resume after the matching #endif,
+                    # or at a depth-1 #else/#elif (whose branch is live).
+                    depth = 1
+                    while i < n and depth > 0:
+                        end = source.find("\n", i)
+                        end = n if end == -1 else end
+                        stripped = source[i:end].lstrip()
+                        if stripped.startswith("#"):
+                            text, i, line = directive(i, line)
+                            d = text.lstrip()
+                            if _ENDIF_RE.match(d):
+                                depth -= 1
+                            elif depth == 1 and _ELSE_RE.match(d):
+                                break
+                            elif _IF_OPEN_RE.match(d):
+                                depth += 1
+                        else:
+                            line += 1
+                            i = end + 1
                 continue
         # Raw string literal: R"delim( ... )delim".
         if c == "R" and i + 1 < n and source[i + 1] == '"':

@@ -23,6 +23,9 @@ _STUBS_HH = """\
 
 #define CHOPIN_GUARDED_BY(x)
 #define CHOPIN_REQUIRES(...)
+#define CHOPIN_CHECK(cond, ...) ((void)(cond))
+#define CHOPIN_ASSERT(cond, ...) ((void)(cond))
+#define CHOPIN_DCHECK(cond, ...) ((void)(cond))
 
 using Tick = std::uint64_t;
 
@@ -48,7 +51,7 @@ struct ScenarioRegion {
 struct EventQueue {
   SequentialCap seq;
   Tick now_ = 0;
-  Tick now() const {
+  Tick sample() const {
     seq.assertHeld();
     return now_;
   }
@@ -63,6 +66,10 @@ struct PartitionCap {
 };
 
 struct ParallelEngine {
+  Tick now_ = 0;
+  Tick la_ = 1;
+  Tick now(unsigned) const { return now_; }
+  Tick lookahead() const { return la_; }
   template <typename F>
   void postAt(unsigned, Tick, F &&f) { f(); }
   template <typename F>
@@ -75,7 +82,7 @@ _SEQ_REACH_CC = """\
 
 void Net::drain(Tick) {}
 
-inline Tick peekNow(EventQueue &q) { return q.now(); }
+inline Tick peekNow(EventQueue &q) { return q.sample(); }
 
 void badFanout(ThreadPool &pool, EventQueue &q, Tick *out) {
   pool.parallelFor(8, [&](unsigned i) {
@@ -92,13 +99,13 @@ void badRequires(ThreadPool &pool, Net &net) {
 void goodScenarioFanout(ThreadPool &pool, EventQueue &q, Tick *out) {
   pool.parallelFor(4, [&, out](unsigned i) {
     ScenarioRegion region(pool);  // self-owned simulation: legal
-    out[i] = q.now();
+    out[i] = q.sample();
   });
 }
 
 void suppressedFanout(ThreadPool &pool, EventQueue &q, Tick *out) {
-  // chopin-analyze: allow(seq-reach)
-  pool.parallelFor(2, [&](unsigned i) { out[i] = q.now(); });
+  // chopin-analyze: allow(seq-reach, partition-escape)
+  pool.parallelFor(2, [&](unsigned i) { out[i] = q.sample(); });
 }
 
 void goodPureFanout(ThreadPool &pool, Tick *out) {
@@ -126,16 +133,19 @@ _PARTITION_CC = """\
 #include "stubs.hh"
 
 void badPartitionEvent(ParallelEngine &engine, EventQueue &q, Tick *out) {
+  // chopin-analyze: allow(partition-escape)
   engine.postAt(0, 5, [&]() {
-    out[0] = q.now();  // VIOLATION seq-reach: sequential sink from an
-                       // epoch-partition event
+    out[0] = q.sample();  // VIOLATION seq-reach: sequential sink from an
+                          // epoch-partition event
   });
 }
 
 void badMailboxDelivery(ParallelEngine &engine, EventQueue &q, Tick *out) {
+  // chopin-analyze: allow(partition-escape)
   engine.postAt(0, 5, [&]() {
-    engine.sendAt(0, 1, 200, [&]() {
-      out[1] = q.now();  // VIOLATION seq-reach: sink on the delivery side
+    engine.sendAt(0, 1, engine.now(0) + engine.lookahead(), [&]() {
+      out[1] = q.sample();  // VIOLATION seq-reach: sink on the delivery
+                            // side
     });
   });
 }
@@ -156,14 +166,16 @@ void goodPartitionLocal(ParallelEngine &engine, EgressPort &port) {
 
 void goodMailboxSend(ParallelEngine &engine, Tick *out) {
   engine.postAt(0, 5, [&]() {
-    engine.sendAt(0, 1, 200, [out]() { out[1] = 7; });
+    engine.sendAt(0, 1, engine.now(0) + engine.lookahead(),
+                  [out]() { out[1] = 7; });
   });
 }
 
 void suppressedPartitionEvent(ParallelEngine &engine, EventQueue &q,
                               Tick *out) {
-  engine.postAt(0, 5, [&]() {  // chopin-analyze: allow(seq-reach)
-    out[0] = q.now();
+  // chopin-analyze: allow(seq-reach, partition-escape)
+  engine.postAt(0, 5, [&]() {
+    out[0] = q.sample();
   });
 }
 """
@@ -248,6 +260,400 @@ int badReturn(Tick t) {
 Tick goodReturn(Tick t) { return t + 1; }
 """
 
+_EPOCH_LOOKAHEAD_CC = """\
+#include "stubs.hh"
+
+#include <algorithm>
+
+void badAbsoluteSend(ParallelEngine &engine) {
+  engine.sendAt(0, 1, 200, []() {});  // VIOLATION epoch-lookahead: abs tick
+}
+
+void goodNowPlusLookahead(ParallelEngine &engine) {
+  engine.sendAt(0, 1, engine.now(0) + engine.lookahead(), []() {});
+}
+
+void badOffByOne(ParallelEngine &engine) {
+  // VIOLATION epoch-lookahead: now + L - 1 undershoots the epoch end
+  engine.sendAt(0, 1, engine.now(0) + engine.lookahead() - 1, []() {});
+}
+
+void goodDoubleLookahead(ParallelEngine &engine) {
+  engine.sendAt(0, 1, engine.now(0) + 2 * engine.lookahead(), []() {});
+}
+
+void goodCheckedDelay(ParallelEngine &engine, Tick delay) {
+  CHOPIN_DCHECK(delay >= engine.lookahead(), "hop covers lookahead");
+  engine.sendAt(0, 1, engine.now(0) + delay, []() {});
+}
+
+void badUncheckedDelay(ParallelEngine &engine, Tick delay) {
+  // VIOLATION epoch-lookahead: delay has no proven lower bound
+  engine.sendAt(0, 1, engine.now(0) + delay, []() {});
+}
+
+void goodConjunctionCheck(ParallelEngine &engine, Tick a, Tick b) {
+  CHOPIN_CHECK(a >= engine.lookahead() && b >= 2, "bounds");
+  engine.sendAt(0, 1, engine.now(0) + a + b, []() {});
+}
+
+void goodMaxFloor(ParallelEngine &engine, Tick ready) {
+  engine.sendAt(
+      0, 1, std::max(engine.now(0) + engine.lookahead(), ready), []() {});
+}
+
+inline void relayAt(ParallelEngine &engine, Tick when) {
+  engine.sendAt(0, 1, when, []() {});  // obligation on the callers
+}
+
+inline void relayHop(ParallelEngine &engine, Tick when) {
+  relayAt(engine, when);  // forwards the obligation transitively
+}
+
+void badCallerAbsolute(ParallelEngine &engine) {
+  relayAt(engine, 400);  // VIOLATION epoch-lookahead: via relayAt(arg#1)
+}
+
+void goodCallerRelative(ParallelEngine &engine) {
+  relayAt(engine, engine.now(0) + engine.lookahead());
+}
+
+void badTransitiveAbsolute(ParallelEngine &engine) {
+  relayHop(engine, 3);  // VIOLATION epoch-lookahead: via relayHop(arg#1)
+}
+
+void goodTransitiveRelative(ParallelEngine &engine) {
+  relayHop(engine, engine.now(0) + engine.lookahead());
+}
+
+struct Hopper {
+  ParallelEngine &engine;
+  Tick hopDelay = 0;
+
+  // The sanctioned helper pattern: check the member delay against the
+  // lookahead once, mint delivery ticks from it everywhere.
+  Tick statusHop() const {
+    CHOPIN_DCHECK(hopDelay >= engine.lookahead(), "hop covers lookahead");
+    return engine.now(0) + hopDelay;
+  }
+
+  void goodSummaryReturn() {
+    engine.sendAt(0, 1, statusHop(), []() {});
+  }
+};
+
+void goodCoordinatorSeed(ParallelEngine &engine) {
+  engine.postAt(0, 0, []() {});  // coordinator postAt between epochs: exempt
+}
+
+void badPartitionRelay(ParallelEngine &engine) {
+  engine.sendAt(0, 1, engine.now(0) + engine.lookahead(), [&engine]() {
+    engine.postAt(0, 9, []() {});  // VIOLATION epoch-lookahead: postAt
+                                   // inside a partition callback
+  });
+}
+
+void goodPartitionRelay(ParallelEngine &engine) {
+  engine.sendAt(0, 1, engine.now(0) + engine.lookahead(), [&engine]() {
+    engine.postAt(0, engine.now(0) + engine.lookahead(), []() {});
+  });
+}
+
+void suppressedAbsolute(ParallelEngine &engine) {
+  // frame-0 bootstrap: the engine has not started, now() == 0 everywhere
+  // chopin-analyze: allow(epoch-lookahead)
+  engine.sendAt(0, 1, 7, []() {});
+}
+
+void badJoinLoses(ParallelEngine &engine, bool fast) {
+  Tick at = engine.now(0) + engine.lookahead();
+  if (fast)
+    at = 5;  // one branch absolute: the join has no usable base
+  engine.sendAt(0, 1, at, []() {});  // VIOLATION epoch-lookahead
+}
+
+void goodLoopAdvance(ParallelEngine &engine, unsigned n) {
+  Tick at = engine.now(0) + engine.lookahead();
+  for (unsigned i = 0; i < n; ++i) {
+    engine.sendAt(0, 1, at, []() {});
+    at += engine.lookahead();  // widening keeps the proven lower bound
+  }
+}
+"""
+
+_PARTITION_ESCAPE_HH = """\
+#pragma once
+#include "stubs.hh"
+
+// Class in a header, method defined out-of-line in the .cc: capture
+// types are unresolvable in the defining TU and must resolve against
+// the merged cross-TU class model.
+struct Compositor {
+  ThreadPool &pool;
+  EventQueue *clock = nullptr;
+  Tick ticks[4] = {0, 0, 0, 0};
+  void fanout();
+};
+"""
+
+_PARTITION_ESCAPE_CC = """\
+#include "partition_escape.hh"
+
+struct PartitionMailbox {
+  PartitionCap cap;
+  Tick pending = 0;
+};
+
+struct Pipeline {
+  EventQueue *queue = nullptr;
+  Tick budget = 0;
+};
+
+void badWorkerRefCapture(ThreadPool &pool, EventQueue &q, Tick *out) {
+  pool.parallelFor(2, [&](unsigned i) {
+    out[i] = q.now_;  // VIOLATION partition-escape: q aliases the
+                      // coordinator-owned queue
+  });
+}
+
+void badWorkerPointerCapture(ThreadPool &pool, EventQueue *qp, Tick *out) {
+  // VIOLATION partition-escape: a copied pointer still aliases
+  pool.parallelFor(2, [qp, out](unsigned i) { out[i] = qp->now_; });
+}
+
+void goodWorkerValueCapture(ThreadPool &pool, Tick base, Tick *out) {
+  pool.parallelFor(2, [base, out](unsigned i) { out[i] = base + i; });
+}
+
+void badPartitionCapture(ParallelEngine &engine, EventQueue &q, Tick *out) {
+  // VIOLATION partition-escape: partition callback aliasing the
+  // coordinator-owned queue
+  engine.postAt(0, 5, [&]() { out[0] = q.now_; });
+}
+
+void goodPartitionMailbox(ParallelEngine &engine, PartitionMailbox &mb) {
+  // partition-owned state is legal from a partition callback
+  engine.postAt(0, 5, [&]() { mb.pending += 1; });
+}
+
+void badWorkerPartitionState(ThreadPool &pool, PartitionMailbox &mb) {
+  // VIOLATION partition-escape: partition-owned state from generic
+  // pool work
+  pool.parallelFor(2, [&](unsigned) { mb.pending += 1; });
+}
+
+void badAliasHop(ThreadPool &pool, Pipeline &pl, Tick *out) {
+  pool.parallelFor(2, [&](unsigned i) {
+    out[i] = pl.budget;  // VIOLATION partition-escape: Pipeline holds an
+                         // EventQueue* (one aliasing hop)
+  });
+}
+
+void suppressedWorkerCapture(ThreadPool &pool, EventQueue &q, Tick *out) {
+  // single-frame setup: the pool quiesces before the queue advances
+  // chopin-analyze: allow(partition-escape)
+  pool.parallelFor(2, [&](unsigned i) { out[i] = q.now_; });
+}
+
+struct Renderer {
+  ThreadPool &pool;
+  EventQueue &clock;
+  Tick frame = 0;
+
+  void badThisCapture(Tick *out) {
+    // VIOLATION partition-escape: `this` aliases the clock member
+    pool.parallelFor(2, [this, out](unsigned i) {
+      out[i] = clock.now_ + frame;
+    });
+  }
+
+  void goodLocalCopy(Tick *out) {
+    Tick f = frame;
+    pool.parallelFor(2, [f, out](unsigned i) { out[i] = f; });
+  }
+};
+
+void Compositor::fanout() {
+  pool.parallelFor(2, [&](unsigned i) {
+    ticks[i] = clock->now_;  // VIOLATION partition-escape: member pointer
+                             // to the coordinator clock under [&]
+  });
+}
+
+void badNestedWorker(ThreadPool &pool, EventQueue &q, Tick *out) {
+  pool.parallelFor(2, [&, out](unsigned i) {
+    auto probe = [&]() { return q.now_; };  // nested lambda inherits the
+    out[i] = probe();                       // worker context
+  });
+}
+
+void goodScenarioWorker(ThreadPool &pool, EventQueue &q, Tick *out) {
+  pool.parallelFor(2, [&](unsigned i) {
+    ScenarioRegion region(pool);  // self-owned nested simulation
+    out[i] = q.now_;
+  });
+}
+"""
+
+_DET_TAINT_CC = """\
+#include "stubs.hh"
+
+#include <ctime>
+#include <map>
+#include <pthread.h>
+#include <unordered_map>
+
+inline Tick timestamp() { return 7; }
+
+struct MetricsVisitor {
+  void value(const char *, double) {}
+  void field(const char *, const char *, double) {}
+};
+
+struct JsonWriter {
+  void key(const char *) {}
+  void value(const char *, double) {}
+};
+
+struct Tracer {
+  void span(const char *, Tick, Tick) {}
+  void record(Tick) {}
+};
+
+struct FrameStats {
+  double draws = 0;
+  double pixels = 0;
+  double scratch = 0;
+  void visitMetrics(MetricsVisitor &v) {
+    v.value("draws", draws);
+    v.value("pixels", pixels);
+  }
+};
+
+void badUnorderedMetric(std::unordered_map<int, int> &m, FrameStats &st) {
+  for (auto &kv : m)
+    st.draws += kv.second;  // VIOLATION det-taint: iteration order leaks
+                            // into an audited metric
+}
+
+void goodOrderedMetric(std::map<int, int> &m, FrameStats &st) {
+  for (auto &kv : m)
+    st.draws += kv.second;  // ordered container: stable across runs
+}
+
+void goodUnregisteredField(std::unordered_map<int, int> &m,
+                           FrameStats &st) {
+  for (auto &kv : m)
+    st.scratch += kv.second;  // scratch is not visitMetrics-registered
+}
+
+void badThreadSpan(Tracer &tr) {
+  Tick t = pthread_self();
+  tr.span("worker", t, t);  // VIOLATION det-taint: thread id in a span
+}
+
+void badTimeJson(JsonWriter &w) {
+  double t = static_cast<double>(time(nullptr));
+  w.value("wall", t);  // VIOLATION det-taint: wall clock in the report
+}
+
+void goodKilledTaint(JsonWriter &w) {
+  double t = static_cast<double>(time(nullptr));
+  t = 0.0;  // strong update kills the taint
+  w.value("calls", t);
+}
+
+void badPointerKey(FrameStats &st, int *p) {
+  // VIOLATION det-taint: pointer value ordering an audited metric
+  st.pixels += static_cast<double>(reinterpret_cast<std::uintptr_t>(p));
+}
+
+inline Tick hostStamp() { return timestamp(); }
+
+void badHelperTime(Tracer &tr) {
+  tr.record(hostStamp());  // VIOLATION det-taint: via hostStamp's return
+}
+
+inline void emitSpan(Tracer &tr, Tick t) { tr.span("x", t, t); }
+
+void badParamSink(Tracer &tr) {
+  emitSpan(tr, timestamp());  // VIOLATION det-taint: via emitSpan arg#1
+}
+
+void goodParamSink(Tracer &tr, Tick simNow) {
+  emitSpan(tr, simNow);  // simulated time: deterministic
+}
+
+void suppressedTimeJson(JsonWriter &w) {
+  // profiling sidecar, excluded from the determinism gate
+  // chopin-analyze: allow(det-taint)
+  w.value("wall", static_cast<double>(time(nullptr)));
+}
+
+Tick goodLocalTime() {
+  Tick t0 = timestamp();
+  Tick t1 = timestamp();
+  return t1 - t0;  // stays out of every audited output
+}
+"""
+
+_LEX_EDGE_CC = """\
+#include "stubs.hh"
+
+#if 0
+void deadAbsoluteSend(ParallelEngine &engine) {
+  engine.sendAt(0, 1, 1, []() {});  // inside #if 0: must not fire
+}
+#if 1
+void deadNested(ParallelEngine &engine) {
+  engine.sendAt(0, 1, 2, []() {});  // nested #if stays dead
+}
+#endif
+#endif
+
+#if 0
+void deadElseArm(ParallelEngine &engine) {
+  engine.sendAt(0, 1, 4, []() {});
+}
+#else
+void liveElseArm(ParallelEngine &engine) {
+  engine.sendAt(0, 1, 5, []() {});  // VIOLATION: the #else arm is live
+}
+#endif
+
+void rawStringLive(ParallelEngine &engine) {
+  const char *note =
+      R"raw(} ] ) { [&](unsigned) { // chopin-analyze: allow(epoch-lookahead))raw";
+  engine.sendAt(0, 1, 3, []() {});  // VIOLATION: raw string above must
+  (void)note;                       // not suppress or derail this
+}
+
+#define FIXTURE_BUMP(x) \\
+  do { \\
+    (x) = (x) + 1; \\
+  } while (0)
+
+void contLive(ParallelEngine &engine, Tick t) {
+  FIXTURE_BUMP(t);
+  engine.sendAt(0, 1, engine.now(0) + engine.lookahead(), []() {});
+}
+
+void nestedLambdas(ThreadPool &pool, Tick *out) {
+  pool.parallelFor(2, [out](unsigned i) {
+    auto inner = [out, i](unsigned j) {
+      auto innermost = [=]() { out[i] = i + j; };
+      innermost();
+    };
+    inner(i);
+  });
+}
+
+void afterNested(ParallelEngine &engine) {
+  engine.sendAt(0, 1, 6, []() {});  // VIOLATION: brace matching stayed in
+                                    // sync through the nesting above
+}
+"""
+
 FIXTURE_FILES = {
     "src/stubs.hh": _STUBS_HH,
     "src/seq_reach.cc": _SEQ_REACH_CC,
@@ -256,6 +662,11 @@ FIXTURE_FILES = {
     "src/lock.cc": _LOCK_CC,
     "src/det_float.cc": _DET_FLOAT_CC,
     "src/tick_narrow.cc": _TICK_NARROW_CC,
+    "src/epoch_lookahead.cc": _EPOCH_LOOKAHEAD_CC,
+    "src/partition_escape.hh": _PARTITION_ESCAPE_HH,
+    "src/partition_escape.cc": _PARTITION_ESCAPE_CC,
+    "src/det_taint.cc": _DET_TAINT_CC,
+    "src/lex_edge.cc": _LEX_EDGE_CC,
 }
 
 # (rule, file, fragment-of-key-or-message, should_fire[, frontends])
@@ -263,7 +674,7 @@ FIXTURE_FILES = {
 # frontends — e.g. lambdas stored in a variable before the pool call are
 # only attached by the clang frontend's structural matching.
 EXPECTATIONS = [
-    ("seq-reach", "src/seq_reach.cc", "EventQueue::now", True),
+    ("seq-reach", "src/seq_reach.cc", "EventQueue::sample", True),
     ("seq-reach", "src/seq_reach.cc", "Net::drain", True),
     ("seq-reach", "src/seq_reach.cc", "goodScenarioFanout", False),
     ("seq-reach", "src/seq_reach.cc", "suppressedFanout", False),
@@ -292,6 +703,123 @@ EXPECTATIONS = [
     ("tick-narrow", "src/tick_narrow.cc", "tolerated", False),
     ("tick-narrow", "src/tick_narrow.cc", "widened", False),
     ("tick-narrow", "src/tick_narrow.cc", "goodReturn", False),
+    # epoch-lookahead: flow-sensitive delivery-offset proofs.
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "badAbsoluteSend", True),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "goodNowPlusLookahead",
+     False),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "badOffByOne", True),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "goodDoubleLookahead",
+     False),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "goodCheckedDelay",
+     False),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "badUncheckedDelay",
+     True),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "goodConjunctionCheck",
+     False),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "goodMaxFloor", False),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "relayAt:sendAt",
+     False),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "relayHop:sendAt",
+     False),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "badCallerAbsolute",
+     True),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "goodCallerRelative",
+     False),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "badTransitiveAbsolute",
+     True),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "goodTransitiveRelative",
+     False),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "Hopper::statusHop",
+     False),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "goodSummaryReturn",
+     False),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "goodCoordinatorSeed",
+     False),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "badPartitionRelay",
+     True),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "goodPartitionRelay",
+     False),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "suppressedAbsolute",
+     False),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "badJoinLoses", True),
+    ("epoch-lookahead", "src/epoch_lookahead.cc", "goodLoopAdvance",
+     False),
+    # partition-escape: capture escape analysis.
+    ("partition-escape", "src/partition_escape.cc",
+     "badWorkerRefCapture:<worker>:q", True),
+    ("partition-escape", "src/partition_escape.cc",
+     "badWorkerRefCapture:<worker>:out", False),
+    ("partition-escape", "src/partition_escape.cc",
+     "badWorkerPointerCapture:<worker>:qp", True),
+    ("partition-escape", "src/partition_escape.cc",
+     "goodWorkerValueCapture", False),
+    ("partition-escape", "src/partition_escape.cc", "<worker>:base",
+     False),
+    ("partition-escape", "src/partition_escape.cc",
+     "badPartitionCapture:<partition>:q", True),
+    ("partition-escape", "src/partition_escape.cc",
+     "badPartitionCapture:<worker>", False),
+    ("partition-escape", "src/partition_escape.cc", "goodPartitionMailbox",
+     False),
+    ("partition-escape", "src/partition_escape.cc",
+     "badWorkerPartitionState", True),
+    ("partition-escape", "src/partition_escape.cc",
+     "partition-owned (PartitionCap) state PartitionMailbox", True),
+    ("partition-escape", "src/partition_escape.cc", "badAliasHop", True),
+    ("partition-escape", "src/partition_escape.cc", "via Pipeline::queue",
+     True),
+    ("partition-escape", "src/partition_escape.cc",
+     "coordinator-owned (SequentialCap) state EventQueue", True),
+    ("partition-escape", "src/partition_escape.cc",
+     "suppressedWorkerCapture", False),
+    ("partition-escape", "src/partition_escape.cc",
+     "Renderer::badThisCapture:<worker>:this", True),
+    ("partition-escape", "src/partition_escape.cc", "goodLocalCopy",
+     False),
+    ("partition-escape", "src/partition_escape.cc",
+     "Compositor::fanout:<worker>:clock", True),
+    ("partition-escape", "src/partition_escape.cc",
+     "Compositor::fanout:<worker>:pool", False),
+    ("partition-escape", "src/partition_escape.cc", "badNestedWorker",
+     True),
+    ("partition-escape", "src/partition_escape.cc", "goodScenarioWorker",
+     False),
+    # det-taint: nondeterminism sources into audited outputs.
+    ("det-taint", "src/det_taint.cc", "badUnorderedMetric", True),
+    ("det-taint", "src/det_taint.cc",
+     "unordered-container iteration order", True),
+    ("det-taint", "src/det_taint.cc", "FrameStats::draws", True),
+    ("det-taint", "src/det_taint.cc", "goodOrderedMetric", False),
+    ("det-taint", "src/det_taint.cc", "goodUnregisteredField", False),
+    ("det-taint", "src/det_taint.cc", "FrameStats::scratch", False),
+    ("det-taint", "src/det_taint.cc", "badThreadSpan", True),
+    ("det-taint", "src/det_taint.cc", "thread identity", True),
+    ("det-taint", "src/det_taint.cc", "badTimeJson", True),
+    ("det-taint", "src/det_taint.cc", "JSON report writer (w.value)",
+     True),
+    ("det-taint", "src/det_taint.cc", "host wall-clock time", True),
+    ("det-taint", "src/det_taint.cc", "goodKilledTaint", False),
+    ("det-taint", "src/det_taint.cc", "badPointerKey", True),
+    ("det-taint", "src/det_taint.cc", "pointer-valued ordering key",
+     True),
+    ("det-taint", "src/det_taint.cc", "FrameStats::pixels", True),
+    ("det-taint", "src/det_taint.cc", "badHelperTime", True),
+    ("det-taint", "src/det_taint.cc", "hostStamp", False),
+    ("det-taint", "src/det_taint.cc", "badParamSink", True),
+    ("det-taint", "src/det_taint.cc", "emitSpan", False),
+    ("det-taint", "src/det_taint.cc", "goodParamSink", False),
+    ("det-taint", "src/det_taint.cc", "suppressedTimeJson", False),
+    ("det-taint", "src/det_taint.cc", "goodLocalTime", False),
+    # Lexer edge cases: dead #if regions, raw strings, continuations,
+    # nested lambda brace matching (regressions desync everything after).
+    ("epoch-lookahead", "src/lex_edge.cc", "deadAbsoluteSend", False),
+    ("epoch-lookahead", "src/lex_edge.cc", "deadNested", False),
+    ("epoch-lookahead", "src/lex_edge.cc", "deadElseArm", False),
+    ("epoch-lookahead", "src/lex_edge.cc", "liveElseArm", True),
+    ("epoch-lookahead", "src/lex_edge.cc", "rawStringLive", True),
+    ("epoch-lookahead", "src/lex_edge.cc", "contLive", False),
+    ("epoch-lookahead", "src/lex_edge.cc", "afterNested", True),
+    ("partition-escape", "src/lex_edge.cc", "nestedLambdas", False),
 ]
 
 

@@ -19,6 +19,9 @@ import json
 import os
 import pathlib
 
+import cxxlex
+import stmts as stmts_mod
+
 FRONTEND_NAME = "clang"
 
 _cindex = None
@@ -110,6 +113,8 @@ class _TuWalker:
         # LAMBDA_EXPR cursor hash -> function node, so pool call sites can
         # attach worker lambdas structurally (_attach_parallel).
         self.lambda_nodes: dict[int, dict] = {}
+        # Raw source bytes per absolute path, for body-extent re-lexing.
+        self._file_bytes: dict[str, bytes | None] = {}
 
     def _rel_of(self, cursor) -> str | None:
         loc = cursor.location
@@ -145,6 +150,7 @@ class _TuWalker:
             "scenario_barrier": False, "captures_ref": False,
             "compound_float_writes": [], "narrow_conversions": [],
             "return_type": ret,
+            "params": [], "stmts": [], "captures": [],
         }
         self.functions.append(f)
         return f
@@ -224,9 +230,81 @@ class _TuWalker:
             _cindex.CursorKind.DESTRUCTOR) else "function"
         f = self._new_function(cursor, rel, kind)
         f["requires_sequential"] = requires
+        try:
+            f["params"] = [{"name": a.spelling, "type": a.type.spelling}
+                           for a in cursor.get_arguments() if a.spelling]
+        except Exception:  # noqa: BLE001
+            pass
+        lam_start = len(self.functions)
         self._walk_body(cursor, f, rel)
+        lam_recs = [g for g in self.functions[lam_start:]
+                    if g["kind"] == "lambda"]
+        self._build_stmts(cursor, f, lam_recs)
 
     # -- bodies ------------------------------------------------------------
+
+    def _read_bytes(self, path: str) -> bytes | None:
+        cached = self._file_bytes.get(path, False)
+        if cached is not False:
+            return cached
+        try:
+            data = pathlib.Path(path).read_bytes()
+        except OSError:
+            data = None
+        self._file_bytes[path] = data
+        return data
+
+    def _build_stmts(self, cursor, f: dict, lam_recs: list[dict]) -> None:
+        """Re-lex the function body's source extent through cxxlex and run
+        the shared statement builder (stmts.py).
+
+        This deliberately bypasses the clang AST for statement structure:
+        feeding the identical token stream both frontends see through one
+        builder guarantees byte-identical `stmts`/`captures` records, so
+        the flow-sensitive passes behave the same under either frontend
+        (see stmts.py module comment).
+        """
+        ck = _cindex.CursorKind
+        body = None
+        for c in cursor.get_children():
+            if c.kind == ck.COMPOUND_STMT:
+                body = c
+        if body is None:
+            return
+        ext = body.extent
+        if ext.start.file is None:
+            return
+        data = self._read_bytes(ext.start.file.name)
+        if data is None:
+            return
+        seg = data[ext.start.offset:ext.end.offset].decode(
+            errors="replace")
+        toks, _raw = cxxlex.lex(seg)
+        if not toks or toks[0].text != "{":
+            return
+        off = ext.start.line - 1
+        toks = [cxxlex.Token(t.kind, t.text, t.line + off) for t in toks]
+        scopes: list[dict] = []
+        parent = cursor.semantic_parent
+        if parent is not None and parent.kind in (
+                ck.CLASS_DECL, ck.STRUCT_DECL, ck.CLASS_TEMPLATE):
+            members: dict[str, str] = {}
+            for m in parent.get_children():
+                if m.kind == ck.FIELD_DECL:
+                    members[m.spelling] = m.type.spelling
+            scopes.append(members)
+        scopes.append({p["name"]: p["type"] for p in f.get("params", [])})
+        trees, built = stmts_mod.build(toks, 1, len(toks), scopes=scopes)
+        f["stmts"] = trees
+        # The builder's flat lambda list is in textual '[' order — the
+        # same pre-order _walk_body created the lambda nodes in. Zip
+        # positionally, with a line check as the divergence safety net.
+        for rec, b in zip(lam_recs, built):
+            if rec["line"] != b["line"]:
+                break
+            rec["stmts"] = b["stmts"]
+            rec["captures"] = b["captures"]
+            rec["params"] = b["params"]
 
     def _walk_body(self, cursor, node: dict, rel: str) -> None:
         """Record calls / lambdas / writes in @p cursor's subtree,

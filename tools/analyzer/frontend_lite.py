@@ -19,6 +19,7 @@ import pathlib
 
 import cxxlex
 import ir
+import stmts as stmts_mod
 from cxxlex import ID, NUM, PUNCT, Token
 
 FRONTEND_NAME = "lite"
@@ -90,6 +91,12 @@ class _Parser:
         self.lambda_counter = 0
         # Class-member types, for method-scope wide/float lookups.
         self.current_class_members: list[dict[str, str]] = []
+        # Deferred statement-tree builds: (function, body_lo, body_hi,
+        # params_full, class summary | None, lambda records created while
+        # parsing the body, in creation order). Deferred so class member
+        # types are complete even when members are declared after the
+        # inline methods that use them.
+        self.pending_bodies: list[tuple] = []
 
     # -- helpers ----------------------------------------------------------
 
@@ -114,6 +121,9 @@ class _Parser:
             "compound_float_writes": [],
             "narrow_conversions": [],
             "return_type": return_type,
+            "params": [],
+            "stmts": [],
+            "captures": [],
         }
         self.functions.append(f)
         return f
@@ -285,18 +295,25 @@ class _Parser:
         sig = self._signature_of(buf)
         if sig is None:
             return self._skip_braces(i)
-        name, qualname, params, ret = sig
+        name, qualname, params, ret, params_full = sig
         qual = "::".join(ns + ([qualname] if "::" in qualname else [name])) \
             if ns else qualname
         f = self._new_function(name, qual, "method" if cls else "function",
                                self.toks[buf[0]].line, "", ret)
+        f["params"] = params_full
         if cls is not None:
             f["class"] = cls["name"]
         if self._has_sequential_requires(buf):
             f["requires_sequential"] = True
         node = _Node(f, None)
         node.locals.update(params)
-        return self._parse_body(i + 1, node)
+        fstart = len(self.functions)
+        end = self._parse_body(i + 1, node)
+        lam_recs = [g for g in self.functions[fstart:]
+                    if g["kind"] == "lambda"]
+        self.pending_bodies.append((f, i + 1, end - 1, params_full, cls,
+                                    lam_recs))
+        return end
 
     def _signature_of(self, buf: list[int]):
         """If @p buf looks like a function signature, return
@@ -382,7 +399,8 @@ class _Parser:
         qualname = "::".join(parts)
         ret = " ".join(texts[:k]) if k > 0 else ""
         params = self._parse_params(buf[open_idx + 1:close_idx])
-        return name, qualname, params, ret
+        params_full = self._parse_params_full(buf[open_idx + 1:close_idx])
+        return name, qualname, params, ret, params_full
 
     def _parse_params(self, buf: list[int]) -> dict[str, str]:
         """Parameter name -> type text from the tokens between ( and )."""
@@ -414,6 +432,43 @@ class _Parser:
         flush()
         return params
 
+    def _parse_params_full(self, buf: list[int]) -> list[dict]:
+        """[{"name", "type"}] with the *full* type text (keeps & and *,
+        which the escape analysis needs) in declaration order."""
+        out: list[dict] = []
+        part: list[Token] = []
+        depth = angle = 0
+        toks = [self.toks[k] for k in buf]
+
+        def flush() -> None:
+            cut = next((p for p, t in enumerate(part) if t.text == "="),
+                       len(part))
+            head = part[:cut]
+            ids = [(p, t.text) for p, t in enumerate(head)
+                   if t.kind == ID and t.text not in _KEYWORDS]
+            if len(ids) >= 2:
+                name_pos, name = ids[-1]
+                out.append({"name": name,
+                            "type": " ".join(t.text
+                                             for t in head[:name_pos])})
+
+        for t in toks:
+            if t.text == "(":
+                depth += 1
+            elif t.text == ")":
+                depth -= 1
+            elif t.text == "<":
+                angle += 1
+            elif t.text == ">":
+                angle = max(0, angle - 1)
+            elif t.text == "," and depth == 0 and angle == 0:
+                flush()
+                part = []
+                continue
+            part.append(t)
+        flush()
+        return out
+
     def _has_sequential_requires(self, buf: list[int]) -> bool:
         texts = [self.toks[k].text for k in buf]
         for k, tx in enumerate(texts):
@@ -435,7 +490,7 @@ class _Parser:
                 # annotation matters (propagated onto definitions by
                 # ir.merge); skip plain declarations.
                 if self._has_sequential_requires(buf):
-                    name, qualname, _params, ret = sig
+                    name, qualname, _params, ret, _params_full = sig
                     qual = "::".join(ns + [name]) if ns else qualname
                     f = self._new_function(name, qual, "decl",
                                            self.toks[buf[0]].line, "", ret)
@@ -833,6 +888,41 @@ class _Parser:
             "evidence": evidence,
         })
 
+    # -- deferred statement builds ----------------------------------------
+
+    def finalize(self) -> None:
+        """Build the structured statement trees (stmts.py) for every
+        function body collected during the scan. Runs after the whole file
+        is parsed so class-member scopes are complete even when members
+        are declared below the inline methods that use them."""
+        class_by_name: dict[str, dict] = {}
+        for c in self.classes:
+            class_by_name.setdefault(c["name"], c)
+        for f, lo, hi, params_full, cls, lam_recs in self.pending_bodies:
+            if cls is None:
+                # Out-of-line method: recover the class from the qualname.
+                parts = f.get("qualname", "").split("::")
+                if len(parts) >= 2:
+                    cls = class_by_name.get(parts[-2])
+            scopes: list[dict] = []
+            if cls is not None:
+                scopes.append({m["name"]: m["type"]
+                               for m in cls["members"]})
+            scopes.append({p["name"]: p["type"] for p in params_full})
+            trees, built_lams = stmts_mod.build(self.toks, lo, hi,
+                                                scopes=scopes)
+            f["stmts"] = trees
+            # The builder's flat lambda list is in textual '[' order, the
+            # same order _parse_lambda created the records in — zip
+            # positionally, with a line check as a safety net against the
+            # two lambda heuristics ever diverging.
+            for rec, built in zip(lam_recs, built_lams):
+                if rec["line"] != built["line"]:
+                    break
+                rec["stmts"] = built["stmts"]
+                rec["captures"] = built["captures"]
+                rec["params"] = built["params"]
+
 
 def parse_file(root: pathlib.Path, rel: str) -> dict:
     """Parse one source file into a TU summary (see ir.py)."""
@@ -840,6 +930,7 @@ def parse_file(root: pathlib.Path, rel: str) -> dict:
     tokens, suppressions = cxxlex.lex(text)
     p = _Parser(rel, tokens)
     p.parse()
+    p.finalize()
     supp = cxxlex.effective_suppressions(tokens, suppressions)
     return {
         "file": rel,

@@ -56,6 +56,16 @@ FunctionSummary:
                           "subscripted", "evidence"}]
   narrow_conversions  [{"line", "src", "dst", "detail"}]
   return_type         textual return type or ""
+  params              [{"name", "type"}] in declaration order (v4)
+  stmts               structured statement tree of the body (see
+                      stmts.py for node shapes) — the input to CFG
+                      lowering in dataflow.py (v4)
+  captures            (lambdas) [{"name", "mode": "ref"|"copy"|"this",
+                        "type", "implicit"}] — explicit entries plus
+                      default-mode captures resolved against the
+                      enclosing scope chain (v4; capture types are
+                      resolved at build time from the member/param/local
+                      scopes, so passes need no symbol table)
 
 ClassSummary:
   name, qualname, file, line
@@ -72,7 +82,7 @@ from __future__ import annotations
 
 import dataclasses
 
-SUMMARY_VERSION = 3
+SUMMARY_VERSION = 4
 
 # Simple-call names never resolved to program functions when the call has
 # an explicit receiver: these collide with std container/smart-pointer
@@ -141,7 +151,8 @@ def merge(summaries: list[dict]) -> ProgramModel:
                     for key in ("calls", "parallel_callbacks",
                                 "partition_callbacks",
                                 "compound_float_writes",
-                                "narrow_conversions"):
+                                "narrow_conversions", "stmts",
+                                "captures", "params"):
                         prev[key] = f.get(key, [])
         for c in s.get("classes", []):
             key = f"{c['file']}:{c['line']}:{c['name']}"
@@ -160,6 +171,16 @@ def merge(summaries: list[dict]) -> ProgramModel:
     func_list = sorted(functions.values(), key=lambda f: f["id"])
     class_list = sorted(classes.values(),
                         key=lambda c: (c["file"], c["line"]))
+
+    # Out-of-line method definitions (`void Engine::run() { ... }` in a
+    # .cc whose class lives in a header) carry no "class" in their own
+    # TU; resolve it here where every class is visible.
+    class_names = {c["name"] for c in class_list}
+    for f in func_list:
+        if not f.get("class"):
+            parts = (f.get("qualname") or "").split("::")
+            if len(parts) >= 2 and parts[-2] in class_names:
+                f["class"] = parts[-2]
 
     by_simple: dict[str, list[dict]] = {}
     by_qual: dict[str, list[dict]] = {}

@@ -16,7 +16,9 @@ next declaration.
 from __future__ import annotations
 
 import dataclasses
+import time
 
+import dataflow
 import ir
 
 
@@ -249,20 +251,391 @@ def tick_narrow(model: ir.ProgramModel) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# Shared reachability over the cross-TU call graph.
+
+
+def _reachable_from(model: ir.ProgramModel, roots: list[dict]) -> set[str]:
+    """Function ids reachable from @p roots via resolved calls and
+    lexically nested lambdas, stopping at ScenarioRegion barriers."""
+    seen = {r["id"] for r in roots}
+    queue = list(roots)
+    while queue:
+        node = queue.pop(0)
+        for call in node.get("calls", []):
+            if "lambda_id" in call:
+                targets = [model.by_id[call["lambda_id"]]] \
+                    if call["lambda_id"] in model.by_id else []
+            else:
+                targets = ir.resolve_call(model, call)
+            for tgt in targets:
+                if tgt["id"] in seen or tgt.get("scenario_barrier"):
+                    continue
+                seen.add(tgt["id"])
+                queue.append(tgt)
+    return seen
+
+
+def _partition_roots(model: ir.ProgramModel) -> list[dict]:
+    roots: list[dict] = []
+    for f in model.functions:
+        for cb in f.get("partition_callbacks", []):
+            lam = model.by_id.get(cb["lambda_id"])
+            if lam is not None:
+                roots.append(lam)
+    return roots
+
+
+def _enclosing_host(model: ir.ProgramModel, f: dict) -> dict:
+    """Nearest non-lambda enclosing function (for stable keys)."""
+    node = f
+    guard = 0
+    while node.get("kind") == "lambda" and guard < 32:
+        parent = model.by_id.get(node.get("enclosing", ""))
+        if parent is None:
+            return node
+        node = parent
+        guard += 1
+    return node
+
+
+def _enclosing_class(model: ir.ProgramModel, f: dict) -> str:
+    return _enclosing_host(model, f).get("class", "")
+
+
+# ---------------------------------------------------------------------------
+# epoch-lookahead
+
+
+def epoch_lookahead(model: ir.ProgramModel) -> list[Finding]:
+    """Every sendAt/postAt delivery time reaching a partition must be
+    provably >= now() + lookahead (= the epoch end; lookahead is bounded
+    by the configured link latency, see PartitionedNet).
+
+    Flow-sensitive interval propagation (dataflow.py) evaluates the
+    `when` argument at every sendAt call site — and at every postAt site
+    inside code reachable from a partition callback; postAt from
+    coordinator code between epochs legitimately seeds absolute-tick
+    events and is exempt. Offsets that are relative to a parameter become
+    obligations on the callers (transitively), so helpers that forward a
+    delivery time are checked at the sites that compute it. An offset
+    that cannot be *proven* safe is flagged, not just a provably-wrong
+    one: an unprovable delivery time is an epoch-contract hazard even
+    when every current trace happens to satisfy it.
+
+    A CHOPIN_CHECK/ASSERT/DCHECK over the offset refines the interval,
+    so the sanctioned pattern — check `delay >= lookahead()` once, then
+    send at `now() + delay` — verifies statically.
+    """
+    in_partition = _reachable_from(model, _partition_roots(model))
+    sites = dataflow.run_epoch_lookahead(
+        model, lambda fid: fid in in_partition)
+
+    # Stable keys: host function qualname + callee + textual ordinal
+    # within the host (never line numbers).
+    sites.sort(key=lambda x: (x["fn"]["file"], x["fn"]["line"],
+                              x["ordinal"]))
+    counters: dict[tuple[str, str], int] = {}
+    findings: list[Finding] = []
+    for x in sites:
+        f = x["fn"]
+        host = _enclosing_host(model, f)
+        host_label = host.get("qualname") or host["name"]
+        ck = (host_label, x["callee"])
+        ordinal = counters.get(ck, 0)
+        counters[ck] = ordinal + 1
+        if _suppressed(model, "epoch-lookahead", f["file"], x["line"]):
+            continue
+        via = f" (reached via {', '.join(x['via'])})" if x["via"] else ""
+        findings.append(Finding(
+            rule="epoch-lookahead",
+            file=f["file"],
+            line=x["line"],
+            key=f"{host_label}:{x['callee']}#{ordinal}",
+            message=(
+                f"delivery offset of {x['callee']} in {host_label} is "
+                f"not provably >= the engine lookahead: the when "
+                f"argument evaluates to {x['value']}{via}; deliver at "
+                f"now() + d with d checked >= lookahead(), or add "
+                f"'// chopin-analyze: allow(epoch-lookahead)' with the "
+                f"invariant that bounds it"),
+        ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# partition-escape
+
+
+def _seq_cap_classes(model: ir.ProgramModel) -> set[str]:
+    return {c["name"] for c in model.classes
+            if c.get("has_sequential_cap")}
+
+
+def _partition_cap_classes(model: ir.ProgramModel) -> set[str]:
+    out: set[str] = set()
+    for c in model.classes:
+        for m in c.get("members", []):
+            if "PartitionCap" in m.get("type", ""):
+                out.add(c["name"])
+    return out
+
+
+def partition_escape(model: ir.ProgramModel) -> list[Finding]:
+    """Escape analysis over lambda captures: a partition or worker
+    callback must not capture (by reference or pointer) state owned by
+    the sequential coordinator — SequentialCap-guarded classes, or
+    classes holding a pointer/reference member to one (one aliasing hop).
+    Worker lambdas (ThreadPool::parallelFor/submit) are additionally
+    checked against PartitionCap-owning classes: partition-owned queues
+    and ports belong to partition callbacks, not to generic pool work.
+
+    Capture types come from the shared statement builder's scope
+    resolution (class members, parameters, locals); captures the builder
+    could not type in its own TU (class members declared in a header)
+    resolve here against the merged cross-TU class model. A member used
+    under a default capture mode — or any use through a captured `this`
+    — aliases the enclosing object regardless of the capture mode, so
+    those are checked as aliases even under [=]. Value copies of plain
+    data are legal — the escape is the alias, not the data.
+    """
+    seq_classes = _seq_cap_classes(model)
+    part_classes = _partition_cap_classes(model)
+    by_name = {}
+    for c in model.classes:
+        by_name.setdefault(c["name"], c)
+    class_members = {c["name"]: {m["name"]: m["type"]
+                                 for m in c.get("members", [])}
+                     for c in model.classes}
+
+    def aliased_seq_class(type_text: str, targets: set[str]) -> str:
+        """Class from @p targets that @p type_text aliases: named
+        directly, or reachable through one pointer/reference member of a
+        named class."""
+        for cls in targets:
+            if dataflow._word_in(type_text, cls):
+                return cls
+        for cls_name, c in by_name.items():
+            if not dataflow._word_in(type_text, cls_name):
+                continue
+            for m in c.get("members", []):
+                mt = m.get("type", "")
+                if "*" not in mt and "&" not in mt:
+                    continue
+                for cls in targets:
+                    if dataflow._word_in(mt, cls):
+                        return f"{cls} (via {cls_name}::{m['name']})"
+        return ""
+
+    roots: list[tuple[dict, dict, str]] = []  # (owner, lambda, kind)
+    for f in model.functions:
+        for cb in f.get("parallel_callbacks", []):
+            lam = model.by_id.get(cb["lambda_id"])
+            if lam is not None:
+                roots.append((f, lam, "worker"))
+        for cb in f.get("partition_callbacks", []):
+            lam = model.by_id.get(cb["lambda_id"])
+            if lam is not None:
+                roots.append((f, lam, "partition"))
+    # Nested lambdas inherit their root's kind.
+    root_kind = {lam["id"]: kind for _, lam, kind in roots}
+    changed = True
+    while changed:
+        changed = False
+        for f in model.functions:
+            if f.get("kind") == "lambda" and f["id"] not in root_kind \
+                    and f.get("enclosing") in root_kind:
+                root_kind[f["id"]] = root_kind[f["enclosing"]]
+                owner = model.by_id.get(f["enclosing"])
+                if owner is not None:
+                    roots.append((owner, f, root_kind[f["id"]]))
+                changed = True
+
+    findings: list[Finding] = []
+    reported: set[str] = set()
+    for owner, lam, kind in roots:
+        if lam.get("scenario_barrier"):
+            continue
+        host = _enclosing_host(model, lam)
+        host_label = host.get("qualname") or host["name"]
+        targets = seq_classes if kind == "partition" \
+            else seq_classes | part_classes
+        members = class_members.get(_enclosing_class(model, lam), {})
+        for cap in lam.get("captures", []):
+            typ = cap.get("type", "")
+            name = cap.get("name", "")
+            if not name:
+                continue
+            member_alias = False
+            if name == "this":
+                typ = typ or _enclosing_class(model, lam)
+                member_alias = True
+            elif not typ and name in members:
+                typ = members[name]
+                member_alias = True
+            if not typ:
+                continue
+            aliasing = member_alias or cap.get("mode") == "ref" or \
+                "*" in typ or typ.rstrip().endswith("&")
+            if not aliasing:
+                continue
+            hit = aliased_seq_class(typ, targets)
+            if not hit:
+                continue
+            key = f"{host_label}:<{kind}>:{name}"
+            if key in reported:
+                continue
+            reported.add(key)
+            if _suppressed(model, "partition-escape", lam["file"],
+                           lam["line"]):
+                continue
+            owned = "coordinator-owned (SequentialCap)" \
+                if hit.split(" ")[0] in seq_classes \
+                else "partition-owned (PartitionCap)"
+            findings.append(Finding(
+                rule="partition-escape",
+                file=lam["file"],
+                line=lam["line"],
+                key=key,
+                message=(
+                    f"{kind} lambda in {host_label} captures '{name}' "
+                    f"({typ.strip()}) aliasing {owned} state {hit}; "
+                    f"copy the data, route through the partition "
+                    f"mailbox, or add '// chopin-analyze: "
+                    f"allow(partition-escape)' documenting why the "
+                    f"alias cannot race"),
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# det-taint
+
+
+def _metric_fields(model: ir.ProgramModel) -> dict[str, set[str]]:
+    """Class -> visitMetrics-registered field names, extracted from the
+    statement trees of visitMetrics methods: every `v.field(..., X)` /
+    `v.value(..., X)` call registers the member named by its last
+    name-path argument."""
+    out: dict[str, set[str]] = {}
+
+    def walk_expr(e, fields: set[str]):
+        if not isinstance(e, dict):
+            return
+        if e.get("k") == "call":
+            simple = e.get("name", "").split(".")[-1].split("::")[-1]
+            args = e.get("args", [])
+            if simple in ("field", "value") and args:
+                last = args[-1]
+                if isinstance(last, dict) and last.get("k") == "name":
+                    fields.add(last["path"].split(".")[-1])
+            for a in args:
+                walk_expr(a, fields)
+        else:
+            for key in ("l", "r", "e", "c", "t", "f", "base", "index",
+                        "rhs", "dst", "init"):
+                if key in e:
+                    walk_expr(e[key], fields)
+
+    def walk(stmts, fields: set[str]):
+        for st in stmts:
+            for key in ("e", "c", "init", "rhs", "dst", "container"):
+                if key in st and isinstance(st[key], dict):
+                    walk_expr(st[key], fields)
+            for key in ("then", "els", "body", "init", "inc"):
+                if key in st and isinstance(st[key], list):
+                    walk(st[key], fields)
+
+    for f in model.functions:
+        if f["name"] != "visitMetrics" or not f.get("class"):
+            continue
+        fields: set[str] = set()
+        walk(f.get("stmts") or [], fields)
+        if fields:
+            out.setdefault(f["class"], set()).update(fields)
+    return out
+
+
+def det_taint(model: ir.ProgramModel) -> list[Finding]:
+    """Nondeterminism sources must not flow into determinism-audited
+    outputs. Sources: unordered-container iteration order, thread ids,
+    host wall-clock time, pointer-valued ordering keys
+    (reinterpret_cast to [u]intptr_t). Sinks: visitMetrics-registered
+    metric fields, trace span/record arguments, JSON report writers.
+
+    Flow-sensitive (a tainted variable overwritten with a clean value is
+    clean downstream) and interprocedural (helper return taint and
+    parameter-to-sink flows summarize across the call graph). Host-time
+    reads that stay in logging-free locals are fine — only the flow into
+    an audited output is a finding, because that is what breaks the
+    bit-identical determinism gates (DESIGN.md §5).
+    """
+    metric_fields = _metric_fields(model)
+    enclosing = {f["id"]: _enclosing_class(model, f)
+                 for f in model.functions}
+    class_members = {c["name"]: {m["name"]: m["type"]
+                                 for m in c.get("members", [])}
+                     for c in model.classes}
+    sites = dataflow.run_det_taint(model, metric_fields, enclosing,
+                                   class_members)
+
+    sites.sort(key=lambda x: (x["fn"]["file"], x["fn"]["line"],
+                              x["line"]))
+    counters: dict[tuple[str, str], int] = {}
+    findings: list[Finding] = []
+    for x in sites:
+        f = x["fn"]
+        host = _enclosing_host(model, f)
+        host_label = host.get("qualname") or host["name"]
+        labels = ",".join(x["labels"])
+        ck = (host_label, x["desc"])
+        ordinal = counters.get(ck, 0)
+        counters[ck] = ordinal + 1
+        if _suppressed(model, "det-taint", f["file"], x["line"]):
+            continue
+        sources = "; ".join(
+            dataflow.LABEL_DESCRIPTIONS.get(lb, lb)
+            for lb in x["labels"])
+        suffix = f"#{ordinal}" if ordinal else ""
+        findings.append(Finding(
+            rule="det-taint",
+            file=f["file"],
+            line=x["line"],
+            key=f"{host_label}:{x['desc']}:{labels}{suffix}",
+            message=(
+                f"nondeterministic value ({sources}) flows into "
+                f"{x['desc']} in {host_label}; determinism-audited "
+                f"outputs must be derived from simulated state only — "
+                f"sort the iteration, use sim time, or add "
+                f"'// chopin-analyze: allow(det-taint)' with the reason "
+                f"the value is stable across runs"),
+        ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 
 PASSES = {
     "seq-reach": seq_reach,
     "lock-coverage": lock_coverage,
     "det-float": det_float,
     "tick-narrow": tick_narrow,
+    "epoch-lookahead": epoch_lookahead,
+    "partition-escape": partition_escape,
+    "det-taint": det_taint,
 }
 
 
 def run_passes(model: ir.ProgramModel,
-               only: list[str] | None = None) -> list[Finding]:
+               only: list[str] | None = None,
+               timings: dict[str, float] | None = None) -> list[Finding]:
+    """Run the requested passes (all by default). When @p timings is a
+    dict, per-pass wall-clock seconds are recorded into it."""
     names = only or sorted(PASSES)
     out: list[Finding] = []
     for name in names:
+        t0 = time.monotonic()
         out.extend(PASSES[name](model))
+        if timings is not None:
+            timings[name] = round(time.monotonic() - t0, 4)
     out.sort(key=lambda f: (f.file, f.line, f.rule, f.key))
     return out

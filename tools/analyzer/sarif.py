@@ -1,0 +1,80 @@
+"""SARIF 2.1.0 export for chopin-analyze findings.
+
+One run per invocation: the driver tool component lists every pass as a
+reportingDescriptor (rule), and each finding becomes a result whose
+ruleId is the pass name, with the stable (rule, file, key) identity
+carried in partialFingerprints so SARIF consumers (GitHub code
+scanning) track findings across line moves exactly like the baseline
+does.
+"""
+
+from __future__ import annotations
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+SARIF_VERSION = "2.1.0"
+
+
+def _rule_descriptor(name: str, doc: str) -> dict:
+    lines = [ln.strip() for ln in (doc or "").splitlines()]
+    short = lines[0] if lines and lines[0] else name
+    full = " ".join(ln for ln in lines if ln)
+    return {
+        "id": name,
+        "name": name,
+        "shortDescription": {"text": short},
+        "fullDescription": {"text": full or short},
+        "defaultConfiguration": {"level": "warning"},
+    }
+
+
+def _result(f) -> dict:
+    return {
+        "ruleId": f.rule,
+        "level": "warning",
+        "message": {"text": f.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": f.file,
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {"startLine": max(1, int(f.line))},
+            },
+        }],
+        "partialFingerprints": {
+            # The baseline identity: stable across line moves.
+            "chopinAnalyzeKey/v1": f"{f.rule}:{f.file}:{f.key}",
+        },
+    }
+
+
+def to_sarif(findings, tool_version: str, pass_docs: dict[str, str],
+             root: str) -> dict:
+    """Build a SARIF 2.1.0 log dict from analyzer findings.
+
+    @p pass_docs maps pass name -> docstring (the pass registry); every
+    pass is listed as a rule even when it produced no results, so rule
+    metadata stays discoverable in scanning UIs.
+    """
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "chopin-analyze",
+                    "informationUri":
+                        "https://example.invalid/chopin-analyze",
+                    "version": tool_version,
+                    "rules": [_rule_descriptor(name, doc)
+                              for name, doc in sorted(pass_docs.items())],
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": f"file://{root.rstrip('/')}/"},
+            },
+            "results": [_result(f) for f in findings],
+            "columnKind": "utf16CodeUnits",
+        }],
+    }

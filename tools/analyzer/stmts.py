@@ -1,0 +1,948 @@
+"""Shared statement/expression builder for chopin-analyze frontends.
+
+Both frontends (frontend_lite tokenizes the file directly; frontend_clang
+re-lexes each function body's source extent through cxxlex) feed the same
+token stream through `build()` to obtain the per-function structured
+statement tree that dataflow.py lowers to a CFG. Keeping this layer
+token-based — rather than AST-based in the clang frontend — guarantees
+the two frontends produce byte-identical `stmts`/`captures` records for
+the same body text, so every flow-sensitive pass behaves identically
+under either frontend.
+
+Statement nodes (JSON-able dicts, `k` discriminates):
+  decl   {name, type, init: Expr|None, line}
+  asg    {dst: Expr, op: '='|'+='|..., rhs: Expr, line}
+  ret    {e: Expr|None, line}
+  if     {c: Expr, then: [Stmt], els: [Stmt], line}
+  loop   {c: Expr|None, body: [Stmt], init: [Stmt], inc: [Stmt], line}
+         -- range-for adds {range: True, var, container: Expr,
+            container_type}
+  assume {c: Expr, line}        -- CHOPIN_CHECK / ASSERT / DCHECK
+  expr   {e: Expr, line}
+  jump   {kind: 'break'|'continue', line}
+  blk    {body: [Stmt]}         -- switch/try bodies, anonymous scopes
+
+Expression nodes:
+  num    {v: int|float}             str {}
+  name   {path: 'a.b.c'}            call {name, args: [Expr], line}
+  bin    {op, l, r}                 un  {op, e}
+  cast   {type, e}                  cond {c, t, f}
+  idx    {base: Expr, index: Expr}  init {args: [Expr]}
+  mem    {e: Expr, name}            lambda {i: index into lambdas}
+  unk    {}
+
+Lambdas are collected into a single flat list in textual ('[' order),
+matching the creation order of lambda function records in both frontends
+so they can be zipped positionally. Each record:
+  {line, params: [{name, type}],
+   captures: [{name, mode: 'ref'|'copy'|'this', type, implicit: bool}],
+   stmts: [Stmt]}
+Implicit captures (default [&]/[=] modes) are resolved against the
+enclosing scope chain — including class members, whose use inside a
+default-capture lambda is a capture of `this`.
+"""
+
+from __future__ import annotations
+
+from cxxlex import ID, NUM, PUNCT, STR, Token
+
+_EXPR_KEYWORDS = {"return", "co_return", "throw", "new", "delete", "case",
+                  "else", "do", "and", "or", "not"}
+_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+    "catch", "new", "delete", "throw", "co_return", "co_await", "case",
+    "default", "else", "do", "goto", "break", "continue", "using",
+    "typedef", "static_assert", "decltype", "noexcept", "alignas",
+    "operator", "template", "typename", "class", "struct", "enum",
+    "union", "namespace", "public", "private", "protected", "friend",
+    "try", "and", "or", "not", "this", "nullptr", "true", "false",
+    "const", "constexpr", "auto", "static", "mutable", "volatile",
+    "inline", "extern", "register", "thread_local", "virtual", "final",
+    "override", "explicit",
+}
+_ASSUME_MACROS = {"CHOPIN_CHECK", "CHOPIN_ASSERT", "CHOPIN_DCHECK"}
+_ASG_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+            "<<=", ">>="}
+_CASTS = {"static_cast", "dynamic_cast", "const_cast",
+          "reinterpret_cast", "narrow_cast"}
+_TYPE_PUNCTS = {"::", "<", ">", "&", "*", ","}
+
+# Binary precedence, loosest first.
+_BIN_LEVELS = [
+    ("||",), ("&&",), ("|",), ("^",),
+    ("==", "!="), ("<", ">", "<=", ">="), ("<<", ">>"),
+    ("+", "-"), ("*", "/", "%"),
+]
+_UNK = {"k": "unk"}
+
+_MAX_STMTS = 4000  # per-function safety valve
+
+
+def lambda_start(toks: list[Token], i: int) -> bool:
+    """Heuristic: does toks[i] open a lambda introducer (vs subscript or
+    [[attribute]])? Shared by both frontends and this builder."""
+    n = len(toks)
+    if toks[i].text != "[":
+        return False
+    if i + 1 < n and toks[i + 1].text == "[":
+        return False  # [[attribute]]
+    if i > 0:
+        prev = toks[i - 1]
+        ok_prev = (prev.kind == PUNCT and prev.text in
+                   ("(", ",", "=", "{", ";", "&&", "||", "?", ":",
+                    "return", "+", "-", "*", "/", "<<", ">>")) or \
+                  (prev.kind == ID and prev.text in _EXPR_KEYWORDS)
+        if not ok_prev:
+            return False
+    j = i + 1
+    depth = 1
+    while j < n and depth > 0 and j - i < 200:
+        if toks[j].text == "[":
+            depth += 1
+        elif toks[j].text == "]":
+            depth -= 1
+        j += 1
+    if j >= n:
+        return False
+    return toks[j].text in ("(", "{", "mutable", "->", "noexcept")
+
+
+class _Item:
+    """A collector item: either a raw token, a balanced brace group, or a
+    parsed-lambda placeholder."""
+    __slots__ = ("tok", "brace", "lam")
+
+    def __init__(self, tok=None, brace=None, lam=None):
+        self.tok = tok
+        self.brace = brace
+        self.lam = lam
+
+    @property
+    def text(self):
+        return self.tok.text if self.tok is not None else ""
+
+    @property
+    def kind(self):
+        return self.tok.kind if self.tok is not None else ""
+
+
+class _Builder:
+    def __init__(self, toks: list[Token], hi: int, scopes: list[dict]):
+        self.toks = toks
+        self.hi = min(hi, len(toks))
+        self.scopes = [dict(s) for s in scopes]
+        self.lambdas: list[dict] = []
+        self.stmt_count = 0
+
+    # -- scope -------------------------------------------------------------
+
+    def _lookup(self, name: str) -> str | None:
+        for s in reversed(self.scopes):
+            if name in s:
+                return s[name]
+        return None
+
+    # -- item collection ---------------------------------------------------
+
+    def _collect(self, i: int, stops: tuple[str, ...],
+                 consume_stop: bool) -> tuple[list[_Item], int]:
+        """Collect items from @p i until a depth-0 token in @p stops (or a
+        depth-0 '}', never consumed). Parens/brackets tracked; balanced
+        brace groups and lambdas collapse into single items."""
+        items: list[_Item] = []
+        depth = 0
+        while i < self.hi:
+            t = self.toks[i]
+            tx = t.text
+            if depth == 0 and tx in stops:
+                return items, (i + 1 if consume_stop else i)
+            if depth == 0 and tx == "}":
+                return items, i
+            if lambda_start(self.toks, i):
+                idx, i = self._parse_lambda(i)
+                items.append(_Item(lam=idx))
+                continue
+            if tx == "[" and i + 1 < self.hi and \
+                    self.toks[i + 1].text == "[":  # [[attribute]]
+                while i < self.hi and not (
+                        self.toks[i].text == "]" and i + 1 < self.hi and
+                        self.toks[i + 1].text == "]"):
+                    i += 1
+                i += 2
+                continue
+            if tx == "{":
+                sub, i = self._collect(i + 1, ("}",), True)
+                items.append(_Item(brace=sub))
+                continue
+            if tx in ("(", "["):
+                depth += 1
+            elif tx in (")", "]"):
+                if depth == 0:
+                    return items, i  # stray closer: let caller decide
+                depth -= 1
+            items.append(_Item(tok=t))
+            i += 1
+        return items, i
+
+    def _paren_group(self, i: int) -> tuple[list[_Item], int]:
+        """@p i points at '('; returns (inner items, index past ')')."""
+        items: list[_Item] = []
+        depth = 1
+        i += 1
+        while i < self.hi:
+            t = self.toks[i]
+            tx = t.text
+            if lambda_start(self.toks, i):
+                idx, i = self._parse_lambda(i)
+                items.append(_Item(lam=idx))
+                continue
+            if tx == "{":
+                sub, i = self._collect(i + 1, ("}",), True)
+                items.append(_Item(brace=sub))
+                continue
+            if tx == "(":
+                depth += 1
+            elif tx == ")":
+                depth -= 1
+                if depth == 0:
+                    return items, i + 1
+            items.append(_Item(tok=t))
+            i += 1
+        return items, i
+
+    # -- lambdas -----------------------------------------------------------
+
+    def _parse_lambda(self, i: int) -> tuple[int, int]:
+        """Parse the lambda at toks[i]=='['; returns (flat index, index
+        past the body)."""
+        line = self.toks[i].line
+        rec = {"line": line, "params": [], "captures": [], "stmts": []}
+        idx = len(self.lambdas)
+        self.lambdas.append(rec)
+
+        # Capture list.
+        j = i + 1
+        depth = 1
+        cap_toks: list[Token] = []
+        while j < self.hi and depth > 0:
+            tx = self.toks[j].text
+            if tx == "[":
+                depth += 1
+            elif tx == "]":
+                depth -= 1
+                if depth == 0:
+                    j += 1
+                    break
+            cap_toks.append(self.toks[j])
+            j += 1
+        default_mode = None
+        explicit: list[dict] = []
+        entry: list[Token] = []
+
+        def flush_entry():
+            nonlocal default_mode
+            if not entry:
+                return
+            texts = [t.text for t in entry]
+            if texts == ["&"]:
+                default_mode = "ref"
+            elif texts == ["="]:
+                default_mode = "copy"
+            elif texts[0] == "this" or texts[:2] == ["*", "this"]:
+                explicit.append({"name": "this", "mode": "this",
+                                 "type": "", "implicit": False})
+            else:
+                mode = "ref" if texts[0] == "&" else "copy"
+                names = [t.text for t in entry if t.kind == ID]
+                if names:
+                    explicit.append({
+                        "name": names[0], "mode": mode,
+                        "type": self._lookup(names[0]) or "",
+                        "implicit": False})
+
+        pdepth = 0
+        for t in cap_toks:
+            if t.text in ("(", "{", "["):
+                pdepth += 1
+            elif t.text in (")", "}", "]"):
+                pdepth -= 1
+            if t.text == "," and pdepth == 0:
+                flush_entry()
+                entry = []
+            else:
+                entry.append(t)
+        flush_entry()
+        rec["captures"] = explicit
+
+        # Parameters.
+        params: dict[str, str] = {}
+        if j < self.hi and self.toks[j].text == "(":
+            inner, j = self._paren_group(j)
+            params = _params_of(inner)
+            rec["params"] = [{"name": k, "type": v}
+                             for k, v in params.items()]
+        # Skip specifiers / trailing return to the body '{'.
+        guard = 0
+        while j < self.hi and self.toks[j].text != "{" and guard < 200:
+            j += 1
+            guard += 1
+        if j >= self.hi or self.toks[j].text != "{":
+            return idx, j
+
+        self.scopes.append(dict(params))
+        body, j = self._block(j + 1)
+        self.scopes.pop()
+        rec["stmts"] = body
+
+        # Implicit captures under a default mode: names used in the body
+        # (including nested lambdas) that resolve in the enclosing chain.
+        if default_mode is not None:
+            used: set[str] = set()
+            declared: set[str] = set(params)
+            declared.update(c["name"] for c in explicit)
+            self._names_in(body, used, declared)
+            for name in sorted(used - declared):
+                typ = self._lookup(name)
+                if typ is None:
+                    if name in _KEYWORDS:
+                        continue
+                    # Unresolved in this TU (a class member declared in a
+                    # header, a global, or a free function): record with
+                    # an empty type so passes can resolve it against the
+                    # merged cross-TU class model.
+                    rec["captures"].append({
+                        "name": name, "mode": default_mode, "type": "",
+                        "implicit": True})
+                    continue
+                rec["captures"].append({
+                    "name": name, "mode": default_mode, "type": typ,
+                    "implicit": True})
+        return idx, j
+
+    def _names_in(self, stmts: list[dict], used: set[str],
+                  declared: set[str]) -> None:
+        def expr(e) -> None:
+            if not isinstance(e, dict):
+                return
+            k = e.get("k")
+            if k == "name":
+                base = e["path"].split(".")[0].split("::")[0]
+                used.add(base)
+            elif k == "call":
+                base = e["name"].split(".")[0].split("::")[0]
+                used.add(base)
+                for a in e.get("args", []):
+                    expr(a)
+            elif k == "lambda":
+                lam = self.lambdas[e["i"]]
+                inner_decl = set(declared)
+                inner_decl.update(p["name"] for p in lam["params"])
+                self._names_in(lam["stmts"], used, inner_decl)
+            else:
+                for key in ("l", "r", "e", "c", "t", "f", "base",
+                            "index", "rhs", "dst"):
+                    if key in e:
+                        expr(e[key])
+                for a in e.get("args", []):
+                    expr(a)
+
+        for st in stmts:
+            k = st.get("k")
+            if k == "decl":
+                declared.add(st["name"])
+                expr(st.get("init"))
+            elif k == "asg":
+                expr(st["dst"])
+                expr(st["rhs"])
+            elif k in ("ret", "expr"):
+                expr(st.get("e"))
+            elif k in ("assume",):
+                expr(st.get("c"))
+            elif k == "if":
+                expr(st.get("c"))
+                self._names_in(st["then"], used, declared)
+                self._names_in(st["els"], used, declared)
+            elif k == "loop":
+                if st.get("var"):
+                    declared.add(st["var"])
+                expr(st.get("c"))
+                expr(st.get("container"))
+                self._names_in(st.get("init", []), used, declared)
+                self._names_in(st.get("inc", []), used, declared)
+                self._names_in(st["body"], used, declared)
+            elif k == "blk":
+                self._names_in(st["body"], used, declared)
+
+    # -- statements --------------------------------------------------------
+
+    def _block(self, i: int) -> tuple[list[dict], int]:
+        """Parse statements from @p i until the matching '}' (consumed)."""
+        out: list[dict] = []
+        while i < self.hi:
+            if self.stmt_count > _MAX_STMTS:
+                return out, self.hi
+            tx = self.toks[i].text
+            if tx == "}":
+                return out, i + 1
+            st, i = self._statement(i)
+            if st is not None:
+                out.append(st)
+        return out, i
+
+    def _body_or_single(self, i: int) -> tuple[list[dict], int]:
+        while i < self.hi and self.toks[i].text == ";":
+            i += 1
+        if i < self.hi and self.toks[i].text == "{":
+            return self._block(i + 1)
+        st, i = self._statement(i)
+        return ([st] if st is not None else []), i
+
+    def _statement(self, i: int) -> tuple[dict | None, int]:
+        self.stmt_count += 1
+        if i >= self.hi:
+            return None, self.hi
+        t = self.toks[i]
+        tx = t.text
+        line = t.line
+        if tx == ";":
+            return None, i + 1
+        if tx == "{":
+            body, i = self._block(i + 1)
+            return {"k": "blk", "body": body}, i
+        if tx == "if":
+            j = i + 1
+            if j < self.hi and self.toks[j].text == "constexpr":
+                j += 1
+            if j >= self.hi or self.toks[j].text != "(":
+                return None, i + 1
+            inner, j = self._paren_group(j)
+            pre, cond = self._cond_with_init(inner, line)
+            then, j = self._body_or_single(j)
+            els: list[dict] = []
+            if j < self.hi and self.toks[j].text == "else":
+                els, j = self._body_or_single(j + 1)
+            st = {"k": "if", "c": cond, "then": then, "els": els,
+                  "line": line}
+            if pre:
+                return {"k": "blk", "body": pre + [st]}, j
+            return st, j
+        if tx in ("while",):
+            if i + 1 >= self.hi or self.toks[i + 1].text != "(":
+                return None, i + 1
+            inner, j = self._paren_group(i + 1)
+            body, j = self._body_or_single(j)
+            return {"k": "loop", "c": self._expr(inner), "body": body,
+                    "init": [], "inc": [], "line": line}, j
+        if tx == "do":
+            body, j = self._body_or_single(i + 1)
+            cond = _UNK
+            if j < self.hi and self.toks[j].text == "while" and \
+                    j + 1 < self.hi and self.toks[j + 1].text == "(":
+                inner, j = self._paren_group(j + 1)
+                cond = self._expr(inner)
+            if j < self.hi and self.toks[j].text == ";":
+                j += 1
+            return {"k": "loop", "c": cond, "body": body, "init": [],
+                    "inc": [], "line": line, "do": True}, j
+        if tx == "for":
+            if i + 1 >= self.hi or self.toks[i + 1].text != "(":
+                return None, i + 1
+            inner, j = self._paren_group(i + 1)
+            st = self._for_header(inner, line)
+            body, j = self._body_or_single(j)
+            st["body"] = body
+            return st, j
+        if tx == "switch":
+            if i + 1 < self.hi and self.toks[i + 1].text == "(":
+                inner, j = self._paren_group(i + 1)
+                pre = [{"k": "expr", "e": self._expr(inner),
+                        "line": line}]
+            else:
+                pre, j = [], i + 1
+            if j < self.hi and self.toks[j].text == "{":
+                body, j = self._block(j + 1)
+            else:
+                body = []
+            return {"k": "blk", "body": pre + body}, j
+        if tx == "try":
+            j = i + 1
+            if j < self.hi and self.toks[j].text == "{":
+                body, j = self._block(j + 1)
+            else:
+                body = []
+            while j < self.hi and self.toks[j].text == "catch":
+                if j + 1 < self.hi and self.toks[j + 1].text == "(":
+                    _, j = self._paren_group(j + 1)
+                else:
+                    j += 1
+                if j < self.hi and self.toks[j].text == "{":
+                    handler, j = self._block(j + 1)
+                    body.append({"k": "blk", "body": handler})
+            return {"k": "blk", "body": body}, j
+        if tx in ("break", "continue"):
+            _, j = self._collect(i + 1, (";",), True)
+            return {"k": "jump", "kind": tx, "line": line}, j
+        if tx in ("goto", "using", "typedef", "static_assert"):
+            _, j = self._collect(i + 1, (";",), True)
+            return None, j
+
+        items, j = self._collect(i, (";",), True)
+        if not items:
+            # Stray closer (e.g. unbalanced ')'): skip one token to
+            # guarantee progress.
+            return None, max(j, i + 1)
+        return self._classify(items, line), j
+
+    def _cond_with_init(self, items: list[_Item],
+                        line: int) -> tuple[list[dict], dict]:
+        """`if (init; cond)` splits into ([init stmt], cond expr)."""
+        parts = _split_top(items, ";")
+        if len(parts) > 1:
+            pre = [self._classify(p, line) for p in parts[:-1]]
+            return [p for p in pre if p], self._expr(parts[-1])
+        return [], self._expr(items)
+
+    def _for_header(self, items: list[_Item], line: int) -> dict:
+        colon = _split_top(items, ":")
+        if len(colon) == 2:  # range-for
+            left, right = colon
+            names = [it.text for it in left if it.kind == ID and
+                     it.text not in _KEYWORDS]
+            var = names[-1] if names else ""
+            container = self._expr(right)
+            ctype = ""
+            if container.get("k") == "name":
+                base = container["path"].split(".")[0]
+                ctype = self._lookup(base) or ""
+            elif container.get("k") == "call":
+                base = container["name"].split(".")[0]
+                ctype = self._lookup(base) or ""
+            if var:
+                self.scopes[-1][var] = "auto"
+            return {"k": "loop", "c": None, "body": [], "init": [],
+                    "inc": [], "line": line, "range": True, "var": var,
+                    "container": container, "container_type": ctype}
+        parts = _split_top(items, ";")
+        init: list[dict] = []
+        cond = None
+        inc: list[dict] = []
+        if len(parts) >= 3:
+            st = self._classify(parts[0], line) if parts[0] else None
+            if st:
+                init = [st]
+            cond = self._expr(parts[1]) if parts[1] else None
+            st = self._classify(parts[2], line) if parts[2] else None
+            if st:
+                inc = [st]
+        return {"k": "loop", "c": cond, "body": [], "init": init,
+                "inc": inc, "line": line}
+
+    def _classify(self, items: list[_Item], line: int) -> dict | None:
+        # Strip `case <expr>:` / `default:` / `label:` prefixes.
+        while items and items[0].text in ("case", "default"):
+            parts = _split_top(items, ":")
+            if len(parts) < 2:
+                break
+            items = _join_top(parts[1:], ":")
+        if not items:
+            return None
+        line = items[0].tok.line if items[0].tok else line
+        head = items[0].text
+        if head in ("return", "co_return"):
+            rest = items[1:]
+            return {"k": "ret",
+                    "e": self._expr(rest) if rest else None,
+                    "line": line}
+        if head == "throw":
+            return {"k": "expr", "e": _UNK, "line": line}
+        if head in _ASSUME_MACROS and len(items) > 1 and \
+                items[1].text == "(":
+            inner, _ = _paren_items(items, 1)
+            args = _split_top(inner, ",")
+            if args and args[0]:
+                return {"k": "assume", "c": self._expr(args[0]),
+                        "line": line}
+            return None
+
+        # Top-level assignment?
+        depth = 0
+        for p, it in enumerate(items):
+            tx = it.text
+            if tx in ("(", "["):
+                depth += 1
+            elif tx in (")", "]"):
+                depth -= 1
+            elif depth == 0 and it.kind == PUNCT and tx in _ASG_OPS:
+                lhs, rhs = items[:p], items[p + 1:]
+                decl = self._try_decl(lhs)
+                if decl is not None:
+                    name, typ = decl
+                    self.scopes[-1][name] = typ
+                    return {"k": "decl", "name": name, "type": typ,
+                            "init": self._expr(rhs), "line": line}
+                return {"k": "asg", "dst": self._expr(lhs), "op": tx,
+                        "rhs": self._expr(rhs), "line": line}
+        # ++/-- statement.
+        texts = [it.text for it in items]
+        if "++" in texts or "--" in texts:
+            op = "+=" if "++" in texts else "-="
+            core = [it for it in items if it.text not in ("++", "--")]
+            if core:
+                return {"k": "asg", "dst": self._expr(core), "op": op,
+                        "rhs": {"k": "num", "v": 1}, "line": line}
+        # Declaration without '=' (possibly ctor-initialized).
+        decl = self._try_decl(items)
+        if decl is not None:
+            name, typ = decl
+            self.scopes[-1][name] = typ
+            init = None
+            for it in items:
+                if it.brace is not None:
+                    init = {"k": "init",
+                            "args": [self._expr(a) for a in
+                                     _split_top(it.brace, ",")]}
+            return {"k": "decl", "name": name, "type": typ,
+                    "init": init, "line": line}
+        return {"k": "expr", "e": self._expr(items), "line": line}
+
+    def _try_decl(self, items: list[_Item]) -> tuple[str, str] | None:
+        """`Type name` shape at the head of a statement (type may contain
+        ::, <...>, &, *, const, auto). Returns (name, type) or None."""
+        ids: list[tuple[int, str]] = []
+        tdepth = 0
+        end = len(items)
+        for p, it in enumerate(items):
+            tx = it.text
+            if it.brace is not None or it.lam is not None:
+                end = p
+                break
+            if tx in (".", "->"):
+                return None  # member access: not a declaration head
+            if tx == "<":
+                tdepth += 1
+                continue
+            if tx == ">":
+                tdepth -= 1
+                continue
+            if tx in ("(", "[", "{"):
+                end = p
+                break
+            if it.kind == ID:
+                if tx in _KEYWORDS and tx not in ("const", "auto",
+                                                  "constexpr", "static",
+                                                  "unsigned", "signed"):
+                    return None
+                if tdepth == 0:
+                    ids.append((p, tx))
+            elif it.kind == PUNCT and tx not in _TYPE_PUNCTS:
+                return None
+            elif it.kind in (NUM, STR):
+                return None
+        real = [(p, x) for p, x in ids
+                if x not in ("const", "constexpr", "static")]
+        if len(real) < 2:
+            return None
+        name_pos, name = real[-1]
+        if name_pos != end - 1 and end != len(items):
+            return None
+        # Two adjacent ids separated by '::' form one qualified type, not
+        # `Type name`.
+        if name_pos > 0 and items[name_pos - 1].text == "::":
+            return None
+        typ = " ".join(it.text for it in items[:name_pos]
+                       if it.tok is not None)
+        return name, typ
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, items: list[_Item]) -> dict:
+        if not items:
+            return _UNK
+        try:
+            node, pos = self._parse_ternary(items, 0)
+            return node
+        except (IndexError, RecursionError):
+            return _UNK
+
+    def _parse_ternary(self, items, pos):
+        node, pos = self._parse_bin(items, pos, 0)
+        if pos < len(items) and items[pos].text == "?":
+            t, pos = self._parse_ternary(items, pos + 1)
+            if pos < len(items) and items[pos].text == ":":
+                f, pos = self._parse_ternary(items, pos + 1)
+            else:
+                f = _UNK
+            return {"k": "cond", "c": node, "t": t, "f": f}, pos
+        return node, pos
+
+    def _parse_bin(self, items, pos, level):
+        if level >= len(_BIN_LEVELS):
+            return self._parse_unary(items, pos)
+        ops = _BIN_LEVELS[level]
+        node, pos = self._parse_bin(items, pos, level + 1)
+        while pos < len(items) and items[pos].kind == PUNCT and \
+                items[pos].text in ops:
+            op = items[pos].text
+            rhs, pos = self._parse_bin(items, pos + 1, level + 1)
+            node = {"k": "bin", "op": op, "l": node, "r": rhs}
+        return node, pos
+
+    def _parse_unary(self, items, pos):
+        if pos < len(items) and items[pos].kind == PUNCT and \
+                items[pos].text in ("-", "+", "!", "~", "*", "&",
+                                    "++", "--"):
+            op = items[pos].text
+            e, pos = self._parse_unary(items, pos + 1)
+            if op == "-" and e.get("k") == "num":
+                return {"k": "num", "v": -e["v"]}, pos
+            return {"k": "un", "op": op, "e": e}, pos
+        return self._parse_primary(items, pos)
+
+    def _parse_primary(self, items, pos):
+        if pos >= len(items):
+            return _UNK, pos
+        it = items[pos]
+        if it.lam is not None:
+            return {"k": "lambda", "i": it.lam}, pos + 1
+        if it.brace is not None:
+            return {"k": "init",
+                    "args": [self._expr(a) for a in
+                             _split_top(it.brace, ",")]}, pos + 1
+        tx = it.text
+        if it.kind == NUM:
+            return {"k": "num", "v": _num(tx)}, pos + 1
+        if it.kind == STR:
+            return {"k": "str"}, pos + 1
+        if it.kind == PUNCT and tx == "(":
+            inner, pos = _paren_items(items, pos)
+            return self._postfix(self._expr(inner), items, pos)
+        if it.kind == ID:
+            if tx in ("true", "false"):
+                return {"k": "num", "v": 1 if tx == "true" else 0}, \
+                    pos + 1
+            if tx == "nullptr":
+                return {"k": "num", "v": 0}, pos + 1
+            if tx in _CASTS:
+                pos += 1
+                typ = ""
+                if pos < len(items) and items[pos].text == "<":
+                    tparts = []
+                    depth = 1
+                    pos += 1
+                    while pos < len(items) and depth > 0:
+                        t2 = items[pos].text
+                        if t2 == "<":
+                            depth += 1
+                        elif t2 == ">":
+                            depth -= 1
+                            if depth == 0:
+                                pos += 1
+                                break
+                        tparts.append(t2)
+                        pos += 1
+                    typ = " ".join(tparts)
+                if pos < len(items) and items[pos].text == "(":
+                    inner, pos = _paren_items(items, pos)
+                    return self._postfix(
+                        {"k": "cast", "type": typ,
+                         "e": self._expr(inner)}, items, pos)
+                return _UNK, pos
+            if tx in ("sizeof", "alignof", "new", "delete", "throw",
+                      "decltype", "noexcept"):
+                pos += 1
+                if pos < len(items) and items[pos].text == "(":
+                    _, pos = _paren_items(items, pos)
+                return _UNK, pos
+            if tx == "this":
+                return self._postfix({"k": "name", "path": "this"},
+                                     items, pos + 1)
+            # Qualified/dotted name path.
+            path = tx
+            line = it.tok.line
+            pos += 1
+            while pos + 1 < len(items) and items[pos].text == "::" and \
+                    items[pos + 1].kind == ID:
+                path += "::" + items[pos + 1].text
+                pos += 2
+            return self._name_postfix(path, line, items, pos)
+        return _UNK, pos + 1
+
+    def _name_postfix(self, path, line, items, pos):
+        # Template call: name '<' ... '>' '('.
+        if pos < len(items) and items[pos].text == "<":
+            depth = 1
+            q = pos + 1
+            while q < len(items) and depth > 0 and q - pos < 64:
+                t2 = items[q].text
+                if t2 == "<":
+                    depth += 1
+                elif t2 == ">":
+                    depth -= 1
+                q += 1
+            if depth == 0 and q < len(items) and items[q].text == "(":
+                pos = q
+        if pos < len(items) and items[pos].text == "(":
+            inner, pos = _paren_items(items, pos)
+            args = [self._expr(a) for a in _split_top(inner, ",") if a]
+            node = {"k": "call", "name": path, "args": args,
+                    "line": line}
+            return self._postfix(node, items, pos)
+        node = {"k": "name", "path": path, "line": line}
+        return self._postfix(node, items, pos)
+
+    def _postfix(self, node, items, pos):
+        while pos < len(items):
+            tx = items[pos].text
+            if tx in (".", "->"):
+                if pos + 1 < len(items) and items[pos + 1].kind == ID:
+                    name = items[pos + 1].text
+                    pos += 2
+                    while pos + 1 < len(items) and \
+                            items[pos].text == "::" and \
+                            items[pos + 1].kind == ID:
+                        name += "::" + items[pos + 1].text
+                        pos += 2
+                    if node.get("k") == "name":
+                        return self._name_postfix(
+                            node["path"] + "." + name,
+                            node.get("line", 0), items, pos)
+                    if pos < len(items) and items[pos].text == "(":
+                        inner, pos = _paren_items(items, pos)
+                        args = [self._expr(a)
+                                for a in _split_top(inner, ",") if a]
+                        node = {"k": "call", "name": name,
+                                "args": [node] + args, "recv": True,
+                                "line": 0}
+                        continue
+                    node = {"k": "mem", "e": node, "name": name}
+                    continue
+                pos += 1
+                continue
+            if tx == "[":
+                depth = 1
+                q = pos + 1
+                inner: list[_Item] = []
+                while q < len(items) and depth > 0:
+                    t2 = items[q].text
+                    if t2 == "[":
+                        depth += 1
+                    elif t2 == "]":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    inner.append(items[q])
+                    q += 1
+                node = {"k": "idx", "base": node,
+                        "index": self._expr(inner)}
+                pos = q + 1
+                continue
+            if tx in ("++", "--"):
+                pos += 1
+                continue
+            break
+        return node, pos
+
+
+# -- helpers ---------------------------------------------------------------
+
+
+def _num(text: str):
+    t = text.rstrip("uUlLfF").replace("'", "")
+    try:
+        if t.lower().startswith("0x"):
+            return int(t, 16)
+        if "." in t or "e" in t.lower():
+            return float(t)
+        return int(t, 10) if t else 0
+    except ValueError:
+        return 0
+
+
+def _split_top(items: list[_Item], sep: str) -> list[list[_Item]]:
+    out: list[list[_Item]] = [[]]
+    depth = 0
+    tdepth = 0
+    for it in items:
+        tx = it.text
+        if tx in ("(", "["):
+            depth += 1
+        elif tx in (")", "]"):
+            depth -= 1
+        elif tx == "<" and sep != "<":
+            tdepth += 1
+        elif tx == ">" and sep != ">":
+            tdepth = max(0, tdepth - 1)
+        if tx == sep and depth == 0 and (sep != ":" or tdepth == 0) \
+                and it.kind == PUNCT:
+            out.append([])
+        else:
+            out[-1].append(it)
+    return out
+
+
+def _join_top(parts: list[list[_Item]], sep: str) -> list[_Item]:
+    out: list[_Item] = []
+    for p, part in enumerate(parts):
+        if p:
+            out.append(_Item(tok=Token(PUNCT, sep, 0)))
+        out.extend(part)
+    return out
+
+
+def _paren_items(items: list[_Item], pos: int) -> tuple[list[_Item], int]:
+    """@p items[pos] == '('; returns (inner items, index past ')')."""
+    depth = 1
+    q = pos + 1
+    inner: list[_Item] = []
+    while q < len(items) and depth > 0:
+        tx = items[q].text
+        if tx == "(":
+            depth += 1
+        elif tx == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        inner.append(items[q])
+        q += 1
+    return inner, q + 1
+
+
+def _params_of(items: list[_Item]) -> dict[str, str]:
+    """Parameter list items -> {name: type} (declaration order)."""
+    params: dict[str, str] = {}
+    for part in _split_top(items, ","):
+        ids = [(p, it.text) for p, it in enumerate(part)
+               if it.kind == ID and it.text not in _KEYWORDS]
+        if not ids:
+            continue
+        # Drop default-argument tail.
+        eq = next((p for p, it in enumerate(part) if it.text == "="),
+                  len(part))
+        ids = [(p, x) for p, x in ids if p < eq]
+        if not ids:
+            continue
+        name_pos, name = ids[-1]
+        typ = " ".join(it.text for it in part[:name_pos]
+                       if it.tok is not None)
+        if typ:
+            params[name] = typ
+    return params
+
+
+def build(toks: list[Token], lo: int, hi: int,
+          scopes: list[dict] | None = None) -> tuple[list[dict],
+                                                     list[dict]]:
+    """Build the structured statement tree for the body token range
+    [lo, hi) (just inside the braces). @p scopes is the enclosing scope
+    chain, outermost first — typically [class members, parameters].
+
+    @return (stmts, lambdas): the statement list and the flat, textual-
+            order lambda records (indexed by `lambda` expr nodes).
+    """
+    b = _Builder(toks, hi, scopes or [])
+    try:
+        stmts, _ = b._block(lo)
+    except (IndexError, RecursionError):
+        stmts = []
+    return stmts, b.lambdas

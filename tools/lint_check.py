@@ -447,6 +447,81 @@ def stale_allow_findings(rel: str, code: str, comment: str) -> list[str]:
     return out
 
 
+# --- stale-analyzer-baseline ----------------------------------------------
+# Also not a Rule: it reads tools/analyzer/baseline.json (the accepted
+# chopin-analyze findings) and checks each entry still points at live
+# code. Baseline entries are keyed by qualified function name, so a
+# refactor that renames or deletes the host function leaves a dead entry
+# that would silently mask a future finding with the same key.
+
+BASELINE_RULE = "stale-analyzer-baseline"
+BASELINE_SUMMARY = ("every chopin-analyze baseline entry still names an "
+                    "existing file and function")
+BASELINE_FIX_HINT = ("delete the dead entry from tools/analyzer/"
+                     "baseline.json (or run chopin_analyze.py "
+                     "--update-baseline after confirming the tree is "
+                     "clean); baselines must shrink with the code they "
+                     "excuse")
+
+BASELINE_REL = "tools/analyzer/baseline.json"
+
+_QUAL_SENTINEL = "\x00"
+
+
+def _baseline_host(key: str) -> str:
+    """The qualified function name prefix of a finding key.
+
+    Keys look like `ns::Class::fn:callee#0` or `ns::fn:<kind>:capture` —
+    the host ends at the first `:` that is not part of a `::`.
+    """
+    return key.replace("::", _QUAL_SENTINEL).split(":", 1)[0] \
+              .replace(_QUAL_SENTINEL, "::")
+
+
+def stale_baseline_msgs(entries: list[dict],
+                        read_rel) -> list[dict]:
+    """Violations for baseline entries whose anchor code vanished.
+
+    @p read_rel maps a repo-relative path to file text or None when the
+    file does not exist (injected so the self-test runs without a tree).
+    """
+    out = []
+    for e in entries:
+        rel, key = e.get("file", ""), e.get("key", "")
+        text = read_rel(rel)
+        if text is None:
+            out.append({"file": BASELINE_REL, "line": 1,
+                        "rule": BASELINE_RULE,
+                        "message": f"baseline entry [{e.get('rule')}] "
+                                   f"references missing file {rel}"})
+            continue
+        simple = _baseline_host(key).rsplit("::", 1)[-1]
+        if simple and not re.search(rf"\b{re.escape(simple)}\b", text):
+            out.append({"file": BASELINE_REL, "line": 1,
+                        "rule": BASELINE_RULE,
+                        "message": f"baseline entry [{e.get('rule')}] key "
+                                   f"'{key}': function '{simple}' no "
+                                   f"longer exists in {rel}"})
+    return out
+
+
+def stale_baseline_findings(root: pathlib.Path) -> list[dict]:
+    path = root / BASELINE_REL
+    if not path.is_file():
+        return []
+    try:
+        entries = json.loads(path.read_text()).get("findings", [])
+    except (json.JSONDecodeError, AttributeError):
+        return [{"file": BASELINE_REL, "line": 1, "rule": BASELINE_RULE,
+                 "message": "baseline file is not valid JSON"}]
+
+    def read_rel(rel: str):
+        p = root / rel
+        return p.read_text() if p.is_file() else None
+
+    return stale_baseline_msgs(entries, read_rel)
+
+
 # --- driver ---------------------------------------------------------------
 
 
@@ -485,14 +560,16 @@ def run_lint(root: pathlib.Path, json_out: str | None,
                 continue
             files += 1
             violations += lint_file(path, path.relative_to(root).as_posix())
+    violations += stale_baseline_findings(root)
 
     hint_by_rule = {r.name: r.fix_hint for r in RULES}
     hint_by_rule[STALE_RULE] = STALE_FIX_HINT
+    hint_by_rule[BASELINE_RULE] = BASELINE_FIX_HINT
     for v in violations:
         print(f"{v['file']}:{v['line']}: [{v['rule']}] {v['message']}")
         if fix_hints:
             print(f"    hint: {hint_by_rule[v['rule']]}")
-    print(f"lint_check: {files} files, {len(RULES) + 1} rules, "
+    print(f"lint_check: {files} files, {len(RULES) + 2} rules, "
           f"{len(violations)} violation(s)")
 
     if json_out:
@@ -503,7 +580,9 @@ def run_lint(root: pathlib.Path, json_out: str | None,
             "rules": [{"name": r.name, "summary": r.summary,
                        "fix_hint": r.fix_hint} for r in RULES] +
                      [{"name": STALE_RULE, "summary": STALE_SUMMARY,
-                       "fix_hint": STALE_FIX_HINT}],
+                       "fix_hint": STALE_FIX_HINT},
+                      {"name": BASELINE_RULE, "summary": BASELINE_SUMMARY,
+                       "fix_hint": BASELINE_FIX_HINT}],
             "violations": violations,
         }
         pathlib.Path(json_out).write_text(json.dumps(report, indent=2) + "\n")
@@ -618,6 +697,27 @@ STALE_SELFTEST_CASES = [
     ("src/gfx/raster.cc", "int x = 3;", False),  # no suppression at all
 ]
 
+# stale-analyzer-baseline cases run through stale_baseline_msgs with an
+# injected file-content lookup (no tree needed). The fake tree has one
+# file with one function.
+_BASELINE_FAKE_TREE = {
+    "src/sim/engine.cc": "Tick chopin::Engine::advance(Tick t) { }",
+}
+
+BASELINE_SELFTEST_CASES = [
+    # (entry, should fire?)
+    ({"rule": "epoch-lookahead", "file": "src/sim/engine.cc",
+      "key": "chopin::Engine::advance:sendAt#0"}, False),  # alive
+    ({"rule": "epoch-lookahead", "file": "src/sim/engine.cc",
+      "key": "chopin::Engine::renamed:sendAt#0"}, True),  # fn vanished
+    ({"rule": "partition-escape", "file": "src/sim/deleted.cc",
+      "key": "chopin::gone:<ref>:ctx"}, True),  # file vanished
+    ({"rule": "partition-escape", "file": "src/sim/engine.cc",
+      "key": "chopin::Engine::advance:<ref>:ctx"}, False),  # multi-colon key
+    ({"rule": "det-taint", "file": "src/sim/engine.cc",
+      "key": "advance:span arg:thread-id"}, False),  # unqualified host
+]
+
 
 def self_test() -> int:
     failures = 0
@@ -649,6 +749,17 @@ def self_test() -> int:
             print(f"self-test FAIL: [{STALE_RULE}] {line!r} in {rel}: "
                   f"fired={fired}, expected {should_fire}")
             failures += 1
+    for entry, should_fire in BASELINE_SELFTEST_CASES:
+        fired = bool(stale_baseline_msgs([entry],
+                                         _BASELINE_FAKE_TREE.get))
+        if fired == should_fire:
+            verdict = "fires on" if should_fire else "passes"
+            print(f"self-test ok: [{BASELINE_RULE}] {verdict} "
+                  f"{entry['key']!r}")
+        else:
+            print(f"self-test FAIL: [{BASELINE_RULE}] {entry!r}: "
+                  f"fired={fired}, expected {should_fire}")
+            failures += 1
     print(f"lint_check self-test: {failures} failure(s)")
     return 1 if failures else 0
 
@@ -673,6 +784,7 @@ def main(argv: list[str]) -> int:
         for r in RULES:
             print(f"{r.name:<13} {r.summary}")
         print(f"{STALE_RULE:<13} {STALE_SUMMARY}")
+        print(f"{BASELINE_RULE} {BASELINE_SUMMARY}")
         return 0
     if args.self_test:
         return self_test()
