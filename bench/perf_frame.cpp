@@ -23,21 +23,30 @@
  *    (gated in CI via bench_json.py --series timing --min-speedup).
  *  - `event_queue_ns_per_event`: schedule+dispatch cost of one EventQueue
  *    event with an inline (small-buffer) callback capture.
+ *  - `raster_speedup`: ns/pixel of the quad rasterizer's native SIMD lanes
+ *    over the one-pixel-at-a-time scalar reference (both compiled from the
+ *    same kernel in gfx/raster.hh), on a deterministic triangle soup. An
+ *    order-sensitive fragment hash proves the two paths emitted the exact
+ *    same fragments before the ratio means anything (gated in CI via
+ *    bench_json.py --series raster --min-speedup).
  */
 
 #include "common.hh"
 
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <limits>
 
+#include "gfx/raster.hh"
 #include "net/interconnect.hh"
 #include "net/partitioned_net.hh"
 #include "sim/event_queue.hh"
 #include "sim/parallel_engine.hh"
 #include "stats/metrics.hh"
 #include "stats/report.hh"
+#include "util/rng.hh"
 #include "util/types.hh"
 
 namespace
@@ -228,6 +237,118 @@ measureEventQueueNs(int repeat)
     return best;
 }
 
+/**
+ * Deterministic screen-space triangle soup for the raster series: moderate
+ * triangles scattered over the viewport, distinct per-vertex z and color so
+ * the interpolation lanes do real work. Seeded Rng (PCG32) so every run and
+ * every build rasterizes the identical soup.
+ */
+std::vector<chopin::ScreenTriangle>
+makeRasterSoup(int width, int height, int count)
+{
+    using chopin::ScreenTriangle;
+    chopin::Rng rng(0x5eed0c09u);
+    std::vector<ScreenTriangle> soup;
+    soup.reserve(static_cast<std::size_t>(count));
+    const float w = static_cast<float>(width);
+    const float hgt = static_cast<float>(height);
+    for (int i = 0; i < count; ++i) {
+        const float cx = rng.nextFloat(0.0f, w);
+        const float cy = rng.nextFloat(0.0f, hgt);
+        ScreenTriangle st;
+        for (chopin::ScreenVertex &v : st.v) {
+            v.pos = {cx + rng.nextFloat(-60.0f, 60.0f),
+                     cy + rng.nextFloat(-60.0f, 60.0f)};
+            v.z = rng.nextFloat(0.05f, 0.95f);
+            v.color = {rng.nextFloat(), rng.nextFloat(), rng.nextFloat(),
+                       rng.nextFloat(0.25f, 1.0f)};
+        }
+        st.cacheBounds(width, height);
+        soup.push_back(st);
+    }
+    return soup;
+}
+
+struct RasterOracle
+{
+    std::uint64_t pixels = 0; ///< covered pixels over one soup pass
+    std::uint64_t hash = 0;   ///< order-sensitive fragment hash
+};
+
+/**
+ * Untimed equality oracle: fold every fragment (position, z and color down
+ * to the float bit pattern, in emission order) into an FNV hash. Scalar and
+ * SIMD lanes must produce the same hash or the timing ratio compares two
+ * different computations.
+ */
+template <typename Lanes>
+RasterOracle
+rasterOracle(const std::vector<chopin::ScreenTriangle> &soup,
+             const chopin::Viewport &vp, const chopin::PixelRect &full)
+{
+    RasterOracle o;
+    o.hash = 1469598103934665603ull;
+    auto fold = [&o](std::uint32_t v) {
+        o.hash = (o.hash ^ v) * 1099511628211ull;
+    };
+    auto sink = [&](const chopin::Fragment &f) {
+        ++o.pixels;
+        fold(static_cast<std::uint32_t>(f.x));
+        fold(static_cast<std::uint32_t>(f.y));
+        fold(std::bit_cast<std::uint32_t>(f.z));
+        fold(std::bit_cast<std::uint32_t>(f.color.r));
+        fold(std::bit_cast<std::uint32_t>(f.color.g));
+        fold(std::bit_cast<std::uint32_t>(f.color.b));
+        fold(std::bit_cast<std::uint32_t>(f.color.a));
+    };
+    for (const chopin::ScreenTriangle &st : soup)
+        chopin::rasterizeTriangleInRectAs<Lanes>(st, vp, full, sink);
+    return o;
+}
+
+/**
+ * Timed pass: the quad-aware span sink the binned renderer's hot path uses,
+ * kept deliberately cheap (popcount + one stored lane folded) so the
+ * measurement is the kernel, not the sink. Returns best-of-@p repeat
+ * nanoseconds for @p passes full-soup rasterizations.
+ */
+template <typename Lanes>
+double
+rasterTimedNs(const std::vector<chopin::ScreenTriangle> &soup,
+              const chopin::Viewport &vp, const chopin::PixelRect &full,
+              int passes, int repeat, std::uint64_t expected_pixels)
+{
+    double best = std::numeric_limits<double>::infinity();
+    std::uint32_t fold_ref = 0;
+    for (int rep = 0; rep < repeat; ++rep) {
+        std::uint64_t pixels = 0;
+        std::uint32_t fold = 0;
+        double ns = elapsedNs([&] {
+            auto sink = [&](const chopin::FragmentSpan &span) {
+                pixels += static_cast<std::uint32_t>(
+                    std::popcount(span.mask));
+                fold ^= std::bit_cast<std::uint32_t>(span.z[0]);
+            };
+            for (int pass = 0; pass < passes; ++pass)
+                for (const chopin::ScreenTriangle &st : soup)
+                    chopin::rasterizeTriangleInRectAs<Lanes>(st, vp, full,
+                                                             sink);
+        });
+        chopin_assert(pixels ==
+                          expected_pixels * static_cast<std::uint64_t>(passes),
+                      "raster bench: timed pass coverage diverged from the "
+                      "oracle pass");
+        // Keeps the interpolation fold observable and doubles as a
+        // repetition-determinism check.
+        if (rep == 0)
+            fold_ref = fold;
+        chopin_assert(fold == fold_ref,
+                      "raster bench: timed repetitions diverged");
+        best = std::min(best, ns);
+    }
+    return best;
+}
+
 } // namespace
 
 int
@@ -365,13 +486,55 @@ main(int argc, char **argv)
 
     double event_queue_ns = measureEventQueueNs(repeat);
 
+    // Quad-rasterizer series: native SIMD lanes vs the one-pixel scalar
+    // reference, both instantiated from the same kernel. The fragment-hash
+    // oracle runs first — a speedup between two non-identical computations
+    // would be meaningless.
+    const Viewport raster_vp{512, 512};
+    const PixelRect raster_full{0, 0, raster_vp.width - 1,
+                                raster_vp.height - 1};
+    const std::vector<ScreenTriangle> soup =
+        makeRasterSoup(raster_vp.width, raster_vp.height, 384);
+    const RasterOracle oracle_scalar =
+        rasterOracle<simd::ScalarLanes<1>>(soup, raster_vp, raster_full);
+    const RasterOracle oracle_simd =
+        rasterOracle<simd::NativeLanes>(soup, raster_vp, raster_full);
+    chopin_assert(oracle_scalar.pixels == oracle_simd.pixels &&
+                      oracle_scalar.hash == oracle_simd.hash,
+                  "raster bench: ", simd::kNativeBackend,
+                  " lanes are not bit-identical to the scalar reference");
+    constexpr int raster_passes = 6;
+    double raster_ns_scalar =
+        rasterTimedNs<simd::ScalarLanes<1>>(soup, raster_vp, raster_full,
+                                            raster_passes, repeat,
+                                            oracle_scalar.pixels);
+    double raster_ns_simd =
+        rasterTimedNs<simd::NativeLanes>(soup, raster_vp, raster_full,
+                                         raster_passes, repeat,
+                                         oracle_scalar.pixels);
+    double raster_px = static_cast<double>(oracle_scalar.pixels) *
+                       raster_passes;
+    double raster_ns_per_pixel_scalar =
+        raster_px > 0.0 ? raster_ns_scalar / raster_px : 0.0;
+    double raster_ns_per_pixel =
+        raster_px > 0.0 ? raster_ns_simd / raster_px : 0.0;
+    double raster_speedup =
+        raster_ns_simd > 0.0 ? raster_ns_scalar / raster_ns_simd : 1.0;
+
     std::cout << "\nepoch engine: " << timing_events << " events, "
               << formatDouble(timing_ns_serial / 1e6, 2) << " ms j1, "
               << formatDouble(timing_ns_parallel / 1e6, 2) << " ms j"
               << jobs_parallel << ", timing speedup "
               << formatDouble(timing_speedup, 2) << "x\n"
               << "event queue: "
-              << formatDouble(event_queue_ns, 1) << " ns/event\n";
+              << formatDouble(event_queue_ns, 1) << " ns/event\n"
+              << "raster kernel: " << simd::kNativeBackend << " x"
+              << simd::NativeLanes::width << ", "
+              << formatDouble(raster_ns_per_pixel_scalar, 2)
+              << " ns/px scalar, " << formatDouble(raster_ns_per_pixel, 2)
+              << " ns/px simd, " << formatDouble(raster_speedup, 2)
+              << "x speedup (" << oracle_scalar.pixels
+              << " px/pass, hashes identical)\n";
 
     if (!out_path.empty()) {
         std::ofstream out(out_path);
@@ -388,6 +551,13 @@ main(int argc, char **argv)
         w.field("timing_ns_parallel", timing_ns_parallel);
         w.field("timing_events", timing_events);
         w.field("event_queue_ns_per_event", event_queue_ns);
+        w.field("raster_speedup", raster_speedup);
+        w.field("raster_ns_per_pixel", raster_ns_per_pixel);
+        w.field("raster_ns_per_pixel_scalar", raster_ns_per_pixel_scalar);
+        w.field("raster_pixels", oracle_scalar.pixels);
+        w.field("raster_backend", simd::kNativeBackend);
+        w.field("raster_width",
+                static_cast<std::uint64_t>(simd::NativeLanes::width));
         w.key("results");
         w.beginArray();
         for (const Measurement &m : measurements) {

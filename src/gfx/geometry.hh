@@ -9,6 +9,7 @@
 #ifndef CHOPIN_GFX_GEOMETRY_HH
 #define CHOPIN_GFX_GEOMETRY_HH
 
+#include <cstddef>
 #include <vector>
 
 #include "gfx/state.hh"
@@ -30,6 +31,33 @@ struct Triangle
 {
     Vertex v[3];
 };
+
+/** Inclusive pixel rectangle (x0 <= x1 and y0 <= y1 when non-empty). */
+struct PixelRect
+{
+    int x0 = 0;
+    int y0 = 0;
+    int x1 = -1;
+    int y1 = -1;
+
+    bool empty() const { return x1 < x0 || y1 < y0; }
+};
+
+/**
+ * Intersection of two inclusive rectangles (empty when disjoint). The one
+ * clip operation shared by rasterization, tile binning and coverage
+ * counting, so the three cannot drift.
+ */
+inline PixelRect
+intersect(const PixelRect &a, const PixelRect &b)
+{
+    PixelRect r;
+    r.x0 = a.x0 > b.x0 ? a.x0 : b.x0;
+    r.y0 = a.y0 > b.y0 ? a.y0 : b.y0;
+    r.x1 = a.x1 < b.x1 ? a.x1 : b.x1;
+    r.y1 = a.y1 < b.y1 ? a.y1 : b.y1;
+    return r;
+}
 
 /** Screen-space vertex after projection and viewport transform. */
 struct ScreenVertex
@@ -67,6 +95,16 @@ struct ScreenTriangle
      *  the one viewport the cache was built for). */
     void boundingBox(int width, int height, int &x0, int &y0, int &x1,
                      int &y1) const;
+
+    /** boundingBox() as a PixelRect — empty when the triangle misses the
+     *  viewport entirely. Consumers clip further with intersect(). */
+    PixelRect
+    boundsRect(int width, int height) const
+    {
+        PixelRect r;
+        boundingBox(width, height, r.x0, r.y0, r.x1, r.y1);
+        return r;
+    }
 };
 
 /** Viewport description. */
@@ -90,6 +128,19 @@ struct Viewport
 void processPrimitive(const Triangle &tri, const Mat4 &mvp,
                       const Viewport &vp, bool backface_cull,
                       std::vector<ScreenTriangle> &out, DrawStats &stats);
+
+/**
+ * Slab overload: appends at @p out[count], advancing @p count. The caller
+ * guarantees room for two more triangles (one primitive emits at most two
+ * after near-plane clipping). This is the allocation-free form the
+ * renderer's geometry stage uses — pool workers write into fixed disjoint
+ * slices of a coordinator-owned arena slab, so no allocator is touched
+ * inside the parallel region.
+ */
+void processPrimitive(const Triangle &tri, const Mat4 &mvp,
+                      const Viewport &vp, bool backface_cull,
+                      ScreenTriangle *out, std::size_t &count,
+                      DrawStats &stats);
 
 /**
  * Approximate screen coverage (in pixels) of a screen triangle; used by the

@@ -1,15 +1,18 @@
 #include "gfx/raster.hh"
 
+#include <bit>
+
 namespace chopin
 {
 
 void
 rasterizeTriangle(const ScreenTriangle &tri_in, const Viewport &vp,
-                  const FragmentSink &sink)
+                  FragmentSink sink)
 {
+    // The sink was erased once, above this call; the kernel instantiates
+    // against the (small, trivially copyable) FragmentSink itself.
     PixelRect full{0, 0, vp.width - 1, vp.height - 1};
-    rasterizeTriangleInRect(tri_in, vp, full,
-                            [&sink](const Fragment &frag) { sink(frag); });
+    rasterizeTriangleInRect(tri_in, vp, full, sink);
 }
 
 std::uint64_t
@@ -17,8 +20,9 @@ countCoverage(const ScreenTriangle &tri, const Viewport &vp)
 {
     std::uint64_t n = 0;
     PixelRect full{0, 0, vp.width - 1, vp.height - 1};
-    rasterizeTriangleInRect(tri, vp, full,
-                            [&n](const Fragment &) { ++n; });
+    rasterizeTriangleInRect(tri, vp, full, [&n](const CoverageSpan &span) {
+        n += static_cast<std::uint64_t>(std::popcount(span.mask));
+    });
     return n;
 }
 

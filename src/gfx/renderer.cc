@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 
 #include "util/log.hh"
 #include "util/thread_pool.hh"
@@ -36,41 +37,56 @@ runGeometry(std::span<const Triangle> tris, const Mat4 &mvp,
             const Viewport &vp, bool backface_cull, RenderScratch &scratch,
             DrawStats &stats)
 {
-    scratch.screen_tris.clear();
     std::size_t n = tris.size();
+    // One slab for the worst case: a primitive emits at most two screen
+    // triangles (near-plane clip of one-vertex-behind yields a quad).
+    scratch.screen_tris.clear();
+    scratch.screen_tris.resizeUninitialized(2 * n);
+    ScreenTriangle *slab = scratch.screen_tris.data();
 
     ThreadPool &pool = globalPool();
     if (pool.jobs() <= 1 || n < geomParallelThreshold) {
+        std::size_t count = 0;
         for (const Triangle &tri : tris)
-            processPrimitive(tri, mvp, vp, backface_cull,
-                             scratch.screen_tris, stats);
+            processPrimitive(tri, mvp, vp, backface_cull, slab, count,
+                             stats);
+        scratch.screen_tris.shrinkTo(count);
         return;
     }
 
-    // Fixed chunk boundaries -> fixed output slots; concatenating the slots
-    // in chunk order reproduces the serial triangle order exactly.
+    // Fixed chunk boundaries -> fixed disjoint slab slices (chunk c owns
+    // [2*c*per, 2*(c+1)*per)); compacting the filled prefixes in chunk
+    // order reproduces the serial triangle order exactly. Workers touch
+    // only their slice and stats slot — never the arena.
     std::size_t chunks = std::min<std::size_t>(
         (n + 63) / 64, static_cast<std::size_t>(pool.jobs()) * 4);
     std::size_t per = (n + chunks - 1) / chunks;
-    if (scratch.geom_tris.size() < chunks)
-        scratch.geom_tris.resize(chunks);
+    scratch.geom_counts.assign(chunks, 0);
     scratch.geom_stats.assign(chunks, DrawStats{});
 
     pool.parallelFor(chunks, [&](std::size_t c) {
-        std::vector<ScreenTriangle> &out = scratch.geom_tris[c];
-        out.clear();
+        ScreenTriangle *out = slab + 2 * c * per;
+        std::size_t &count = scratch.geom_counts[c];
         DrawStats &s = scratch.geom_stats[c];
         std::size_t hi = std::min(n, (c + 1) * per);
         for (std::size_t i = c * per; i < hi; ++i)
-            processPrimitive(tris[i], mvp, vp, backface_cull, out, s);
+            processPrimitive(tris[i], mvp, vp, backface_cull, out, count, s);
     });
 
+    // In-place forward compaction: dst <= src for every chunk (a chunk's
+    // write position is the sum of predecessors' counts <= 2*c*per), so
+    // memmove copies each surviving range at most once, left-to-right.
+    std::size_t total = 0;
     for (std::size_t c = 0; c < chunks; ++c) {
-        scratch.screen_tris.insert(scratch.screen_tris.end(),
-                                   scratch.geom_tris[c].begin(),
-                                   scratch.geom_tris[c].end());
+        std::size_t count = scratch.geom_counts[c];
+        ScreenTriangle *src = slab + 2 * c * per;
+        if (count > 0 && slab + total != src)
+            std::memmove(static_cast<void *>(slab + total), src,
+                         count * sizeof(ScreenTriangle));
+        total += count;
         stats += scratch.geom_stats[c];
     }
+    scratch.screen_tris.shrinkTo(total);
 }
 
 std::uint64_t
@@ -82,17 +98,20 @@ boxPixels(const ScreenTriangle &st)
 }
 
 void
-binTriangles(RenderScratch &scratch, const BinGrid &bins)
+binTriangles(RenderScratch &scratch, const BinGrid &bins, const Viewport &vp)
 {
     std::size_t nbins = static_cast<std::size_t>(bins.count());
     scratch.bin_counts.assign(nbins, 0);
 
+    // Bin overlap comes from the same viewport-clamped bounds helper the
+    // rasterizer clips with, so binning and raster coverage cannot drift.
     for (std::uint32_t idx : scratch.kept) {
-        const ScreenTriangle &st = scratch.screen_tris[idx];
-        int tx0 = st.bx0 / bins.size;
-        int tx1 = st.bx1 / bins.size;
-        int ty0 = st.by0 / bins.size;
-        int ty1 = st.by1 / bins.size;
+        PixelRect r =
+            scratch.screen_tris[idx].boundsRect(vp.width, vp.height);
+        int tx0 = r.x0 / bins.size;
+        int tx1 = r.x1 / bins.size;
+        int ty0 = r.y0 / bins.size;
+        int ty1 = r.y1 / bins.size;
         for (int ty = ty0; ty <= ty1; ++ty)
             for (int tx = tx0; tx <= tx1; ++tx)
                 scratch.bin_counts[static_cast<std::size_t>(ty * bins.nx +
@@ -108,14 +127,15 @@ binTriangles(RenderScratch &scratch, const BinGrid &bins)
         scratch.bin_counts[b] = total;
         total += count;
     }
-    scratch.bin_tris.resize(total);
+    scratch.bin_tris.resizeUninitialized(total);
 
     for (std::uint32_t idx : scratch.kept) {
-        const ScreenTriangle &st = scratch.screen_tris[idx];
-        int tx0 = st.bx0 / bins.size;
-        int tx1 = st.bx1 / bins.size;
-        int ty0 = st.by0 / bins.size;
-        int ty1 = st.by1 / bins.size;
+        PixelRect r =
+            scratch.screen_tris[idx].boundsRect(vp.width, vp.height);
+        int tx0 = r.x0 / bins.size;
+        int tx1 = r.x1 / bins.size;
+        int ty0 = r.y0 / bins.size;
+        int ty1 = r.y1 / bins.size;
         for (int ty = ty0; ty <= ty1; ++ty)
             for (int tx = tx0; tx <= tx1; ++tx) {
                 std::size_t b = static_cast<std::size_t>(ty * bins.nx + tx);
@@ -124,6 +144,7 @@ binTriangles(RenderScratch &scratch, const BinGrid &bins)
     }
 
     scratch.dense_bins.clear();
+    scratch.dense_bins.reserve(nbins);
     for (std::size_t b = 0; b < nbins; ++b) {
         std::uint32_t lo = b == 0 ? 0 : scratch.bin_counts[b - 1];
         if (scratch.bin_counts[b] > lo)
@@ -158,11 +179,12 @@ renderDraw(Surface &surface, const Viewport &vp, const DrawInput &in,
                   "touched-tile tracking needs a tile grid");
 
     RenderScratch &scratch = threadRenderScratch();
+    scratch.beginDraw();
     DrawStats stats;
     runGeometry(in.triangles, in.mvp, vp, in.backface_cull, scratch, stats);
 
     // Coarse filter (raster-engine tile reject) + raster work estimate.
-    scratch.kept.clear();
+    scratch.kept.reserve(scratch.screen_tris.size());
     std::uint64_t est_pixels = 0;
     for (std::size_t i = 0; i < scratch.screen_tris.size(); ++i) {
         const ScreenTriangle &st = scratch.screen_tris[i];
@@ -217,7 +239,7 @@ renderDraw(Surface &surface, const Viewport &vp, const DrawInput &in,
     // are bit-identical to the serial pass; per-bucket stats slots merge by
     // integer summation (order-independent).
     BinGrid bins = makeBinGrid(vp, grid);
-    binTriangles(scratch, bins);
+    binTriangles(scratch, bins, vp);
 
     scratch.bucket_stats.assign(scratch.dense_bins.size(), DrawStats{});
     pool.parallelFor(scratch.dense_bins.size(), [&](std::size_t d) {

@@ -28,6 +28,7 @@
 #include "gfx/geometry.hh"
 #include "gfx/surface.hh"
 #include "gfx/tiles.hh"
+#include "util/arena.hh"
 
 namespace chopin
 {
@@ -77,9 +78,9 @@ struct DrawInput
 
 /**
  * Reusable per-thread scratch for the binned renderer: geometry outputs,
- * the tile-bucket CSR, and per-bucket stats slots. Hoisted out of
- * renderDraw so per-draw allocation churn disappears — buffers keep their
- * capacity across draws on the same thread. Obtain via
+ * the tile-bucket CSR, and per-bucket stats slots. All of it lives on one
+ * bump @ref Arena that beginDraw() rewinds — after the arena warms up to
+ * the largest draw seen, a draw performs zero heap allocations. Obtain via
  * threadRenderScratch(); never share one instance across threads.
  *
  * Ownership contract (the per-thread half of the static-analysis layer,
@@ -92,23 +93,51 @@ struct DrawInput
  * impossible; lint rule `global-state` bans any other thread_local or
  * mutable file-scope state outside util/ so this stays the single point
  * of per-thread ownership.
+ *
+ * Arena discipline inside a draw: only the coordinator (the thread that
+ * called renderDraw) allocates. Parallel regions receive slabs carved
+ * *before* the fan-out — geometry workers fill disjoint slices of
+ * screen_tris' slab, bucket workers write their pre-assigned bucket_stats
+ * slot — so pool workers never touch the arena (see DESIGN.md §14).
  */
 struct RenderScratch
 {
-    /** Post-geometry screen triangles in draw order. */
-    std::vector<ScreenTriangle> screen_tris;
-    /** Indices into screen_tris that survive the coarse filter. */
-    std::vector<std::uint32_t> kept;
+    /** Backing store for every member below; rewound by beginDraw(). */
+    Arena arena;
 
-    // --- tile-bucket CSR (rebuilt per draw, capacity retained) -----------
-    std::vector<std::uint32_t> bin_counts; ///< per bin, then CSR offsets
-    std::vector<std::uint32_t> bin_tris;   ///< bucket payload: tri indices
-    std::vector<std::uint32_t> dense_bins; ///< nonempty bin ids
-    std::vector<DrawStats> bucket_stats;   ///< one slot per nonempty bin
+    /** Post-geometry screen triangles in draw order. */
+    ArenaVector<ScreenTriangle> screen_tris;
+    /** Indices into screen_tris that survive the coarse filter. */
+    ArenaVector<std::uint32_t> kept;
+
+    // --- tile-bucket CSR (rebuilt per draw) ------------------------------
+    ArenaVector<std::uint32_t> bin_counts; ///< per bin, then CSR offsets
+    ArenaVector<std::uint32_t> bin_tris;   ///< bucket payload: tri indices
+    ArenaVector<std::uint32_t> dense_bins; ///< nonempty bin ids
+    ArenaVector<DrawStats> bucket_stats;   ///< one slot per nonempty bin
 
     // --- geometry fan-out slots ------------------------------------------
-    std::vector<std::vector<ScreenTriangle>> geom_tris; ///< per chunk
-    std::vector<DrawStats> geom_stats;                  ///< per chunk
+    ArenaVector<std::size_t> geom_counts; ///< tris written per chunk
+    ArenaVector<DrawStats> geom_stats;    ///< per chunk
+
+    /**
+     * Start a draw: invalidate the previous draw's transients and rebind
+     * every vector to the rewound arena. Must not run while any pool
+     * worker can still hold a pointer into the arena.
+     */
+    void
+    beginDraw()
+    {
+        arena.reset();
+        screen_tris.attach(arena);
+        kept.attach(arena);
+        bin_counts.attach(arena);
+        bin_tris.attach(arena);
+        dense_bins.attach(arena);
+        bucket_stats.attach(arena);
+        geom_counts.attach(arena);
+        geom_stats.attach(arena);
+    }
 };
 
 /** The calling thread's scratch instance (thread-local storage). */
@@ -161,9 +190,14 @@ BinGrid makeBinGrid(const Viewport &vp, const TileGrid *grid);
 
 /**
  * Geometry processing for a whole draw: fans out over fixed triangle
- * chunks when worthwhile, concatenating per-chunk outputs in chunk order
- * (bit-identical to a serial pass). Screen triangles land in
+ * chunks when worthwhile. The coordinator carves one 2*n-triangle slab
+ * from the scratch arena (a primitive emits at most two triangles after
+ * near-plane clipping); chunks fill fixed disjoint slices, and an in-place
+ * forward compaction in chunk order reproduces the serial triangle order
+ * bit-identically — no worker ever allocates. Screen triangles land in
  * scratch.screen_tris; counters merge into @p stats.
+ *
+ * Requires scratch.beginDraw() to have run for this draw.
  */
 void runGeometry(std::span<const Triangle> tris, const Mat4 &mvp,
                  const Viewport &vp, bool backface_cull,
@@ -176,9 +210,12 @@ std::uint64_t boxPixels(const ScreenTriangle &st);
  * Build the tile-bucket CSR over scratch.kept (indices into
  * scratch.screen_tris, in draw order). On return: bucket b's payload is
  * scratch.bin_tris[(b ? bin_counts[b-1] : 0) .. bin_counts[b]), and
- * scratch.dense_bins lists the nonempty bins in ascending order.
+ * scratch.dense_bins lists the nonempty bins in ascending order. Bin
+ * overlap uses the same viewport-clamped bounds helper
+ * (ScreenTriangle::boundsRect) as the rasterizer and countCoverage().
  */
-void binTriangles(RenderScratch &scratch, const BinGrid &bins);
+void binTriangles(RenderScratch &scratch, const BinGrid &bins,
+                  const Viewport &vp);
 
 } // namespace gfx_detail
 

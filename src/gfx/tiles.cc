@@ -52,12 +52,11 @@ TileGrid::overlappedGpus(const ScreenTriangle &tri) const
 {
     std::uint64_t mask = 0;
     std::uint64_t all = gpus >= 64 ? ~0ULL : ((1ULL << gpus) - 1);
-    int x0, y0, x1, y1;
-    tri.boundingBox(w, h, x0, y0, x1, y1);
-    if (x0 > x1 || y0 > y1)
+    PixelRect r = tri.boundsRect(w, h);
+    if (r.empty())
         return 0;
-    for (int tyi = y0 / tile; tyi <= y1 / tile; ++tyi) {
-        for (int txi = x0 / tile; txi <= x1 / tile; ++txi) {
+    for (int tyi = r.y0 / tile; tyi <= r.y1 / tile; ++tyi) {
+        for (int txi = r.x0 / tile; txi <= r.x1 / tile; ++txi) {
             mask |= 1ULL << ownerOfTile(txi, tyi);
             if (mask == all)
                 return mask; // every GPU already covered
@@ -71,12 +70,11 @@ TileGrid::overlappedTiles(const ScreenTriangle &tri,
                           std::vector<int> &out) const
 {
     out.clear();
-    int x0, y0, x1, y1;
-    tri.boundingBox(w, h, x0, y0, x1, y1);
-    if (x0 > x1 || y0 > y1)
+    PixelRect r = tri.boundsRect(w, h);
+    if (r.empty())
         return;
-    for (int tyi = y0 / tile; tyi <= y1 / tile; ++tyi)
-        for (int txi = x0 / tile; txi <= x1 / tile; ++txi)
+    for (int tyi = r.y0 / tile; tyi <= r.y1 / tile; ++tyi)
+        for (int txi = r.x0 / tile; txi <= r.x1 / tile; ++txi)
             out.push_back(tyi * tx + txi);
 }
 

@@ -27,6 +27,7 @@ renderDrawPartitioned(Surface &target, const Viewport &vp,
     // known: GPUpd distributes them, and their vertex work lands on the
     // owners.
     RenderScratch &scratch = threadRenderScratch();
+    scratch.beginDraw();
     DrawStats geom;
     runGeometry(cmd.triangles, mvp, vp, /*backface_cull=*/false, scratch,
                 geom);
@@ -47,7 +48,7 @@ renderDrawPartitioned(Surface &target, const Viewport &vp,
 
     // Per-triangle ownership attribution (serial: cheap per-triangle work,
     // and the draw-order keep list feeds the binned rasterizer).
-    scratch.kept.clear();
+    scratch.kept.reserve(scratch.screen_tris.size());
     std::uint64_t est_pixels = 0;
     for (std::size_t i = 0; i < scratch.screen_tris.size(); ++i) {
         const ScreenTriangle &st = scratch.screen_tris[i];
@@ -125,7 +126,7 @@ renderDrawPartitioned(Surface &target, const Viewport &vp,
     // per-bucket stats accumulate into a private slot and merge into that
     // owner afterwards, and each touched-tile flag has a single writer.
     BinGrid bins = makeBinGrid(vp, &grid);
-    binTriangles(scratch, bins);
+    binTriangles(scratch, bins, vp);
 
     scratch.bucket_stats.assign(scratch.dense_bins.size(), DrawStats{});
     pool.parallelFor(scratch.dense_bins.size(), [&](std::size_t d) {

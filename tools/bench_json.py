@@ -8,6 +8,7 @@ CI:
   python3 tools/bench_json.py BENCH_frame.json
   python3 tools/bench_json.py BENCH_sweep.json --min-speedup 3.0
   python3 tools/bench_json.py BENCH_frame.json --series timing --min-speedup 1.5
+  python3 tools/bench_json.py BENCH_frame.json --series raster --min-speedup 1.5
   python3 tools/bench_json.py new.json --compare old.json
 
 Both producers share the contract: top-level `results` / `gmean_speedup` /
@@ -16,15 +17,20 @@ ns_frame_parallel, mtris_per_s, speedup, frame_hash, cycles`. sweep_all
 additionally emits a `cache` block (hit rates and per-phase counters),
 which is reported when present. perf_frame additionally emits the
 epoch-parallel engine series (`timing_speedup`, `timing_ns_serial`,
-`timing_ns_parallel`, `timing_events`, `event_queue_ns_per_event`); these
-keys are optional so older dumps stay valid.
+`timing_ns_parallel`, `timing_events`, `event_queue_ns_per_event`) and the
+quad-rasterizer series (`raster_speedup`, `raster_ns_per_pixel`,
+`raster_ns_per_pixel_scalar`, `raster_pixels`, `raster_backend`,
+`raster_width`); these keys are optional so older dumps stay valid.
 
 --min-speedup fails (exit 1) when the selected speedup series is below the
 bound. --series picks which one: `gmean` (default) is the geometric-mean
 --jobs=N over --jobs=1 frame-rendering speedup, `timing` is the
-epoch-parallel timing-engine speedup. Only meaningful on multi-core
-machines; the harness itself already asserts bit-identical simulation
-results at every job count, which is the correctness gate.
+epoch-parallel timing-engine speedup, `raster` is the SIMD-over-scalar
+ns/pixel ratio of the quad rasterizer (the harness asserts the two paths
+emitted bit-identical fragments before computing it). gmean and timing are
+only meaningful on multi-core machines; the harness itself already asserts
+bit-identical simulation results at every job count, which is the
+correctness gate.
 
 --compare checks that frame hashes and simulated cycle counts of matching
 (bench, scheme) pairs are identical between two runs — e.g. a --jobs=1 run
@@ -38,6 +44,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+
+# --series name -> (JSON key holding the speedup, human label).
+SERIES = {
+    "gmean": ("gmean_speedup", "gmean speedup"),
+    "timing": ("timing_speedup", "timing-engine speedup"),
+    "raster": ("raster_speedup", "raster-kernel speedup"),
+}
 
 
 def load(path: str) -> dict:
@@ -73,6 +87,12 @@ def report(data: dict) -> None:
               f"({data.get('timing_events', '?')} events)")
     if "event_queue_ns_per_event" in data:
         print(f"event queue: {data['event_queue_ns_per_event']:.1f} ns/event")
+    if "raster_speedup" in data:
+        print(f"raster kernel: {data.get('raster_backend', '?')} "
+              f"x{data.get('raster_width', '?')}: "
+              f"{data['raster_speedup']:.2f}x speedup "
+              f"({data.get('raster_ns_per_pixel_scalar', 0.0):.2f} -> "
+              f"{data.get('raster_ns_per_pixel', 0.0):.2f} ns/px)")
     cache = data.get("cache")
     if cache:
         print(f"result cache: dir={cache.get('dir', '?')} "
@@ -117,11 +137,12 @@ def main() -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail if the selected speedup series is below "
                              "this bound")
-    parser.add_argument("--series", choices=("gmean", "timing"),
+    parser.add_argument("--series", choices=tuple(SERIES),
                         default="gmean",
                         help="which speedup series --min-speedup gates: "
-                             "frame-rendering gmean or the epoch-parallel "
-                             "timing engine (default: gmean)")
+                             "frame-rendering gmean, the epoch-parallel "
+                             "timing engine, or the SIMD quad rasterizer "
+                             "(default: gmean)")
     parser.add_argument("--compare", metavar="BASELINE", default=None,
                         help="check hashes/cycles against another dump")
     args = parser.parse_args()
@@ -134,13 +155,11 @@ def main() -> int:
         if compare(data, load(args.compare)) != 0:
             status = 1
     if args.min_speedup is not None:
-        key = "gmean_speedup" if args.series == "gmean" else "timing_speedup"
+        key, label = SERIES[args.series]
         if key not in data:
             sys.exit(f"{args.json_path}: missing key '{key}' "
                      f"(--series {args.series} needs a dump that emits it)")
         g = data[key]
-        label = ("gmean" if args.series == "gmean"
-                 else "timing-engine") + " speedup"
         if g < args.min_speedup:
             print(f"FAIL: {label} {g:.2f}x < required "
                   f"{args.min_speedup:.2f}x", file=sys.stderr)

@@ -53,6 +53,13 @@ remediation recipe of each finding):
                 JsonWriter / writeMetricsJson in stats/report.hh) so every
                 harness emits one schema instead of hand-rolled prints.
 
+  raw-simd      No vendor SIMD intrinsics, vector types or intrinsic
+                headers outside src/util/simd.hh — the rasterizer's
+                determinism contract (DESIGN.md §14) holds because every
+                vector backend goes through the one audited Lanes layer;
+                a stray _mm_* call elsewhere would not be covered by the
+                scalar-vs-SIMD bit-equality sweep.
+
   partition-mailbox
                 No direct serial-path calls (Interconnect::transfer,
                 blockIngressUntil, Tracer::span) inside the epoch-partition
@@ -221,6 +228,15 @@ STATS_PRINT_RE = re.compile(
 # (commitTransfer is the sanctioned barrier-side API and does not match.)
 PARTITION_MAILBOX_RE = re.compile(
     r"(?:->|\.)\s*(?:transfer|blockIngressUntil|span)\s*\(")
+# Vendor SIMD surface: x86 intrinsic calls (_mm_/_mm256_/_mm512_), x86
+# vector types (__m128 etc.), NEON vector types (float32x4_t etc.) and the
+# intrinsic headers themselves.
+RAW_SIMD_RE = re.compile(
+    r"\b_mm\d*_\w+|"
+    r"\b__m(?:64|128|256|512)[di]?\b|"
+    r"\b(?:float|int|uint|poly)(?:8|16|32|64)x\d+_t\b|"
+    r"#\s*include\s*<(?:[a-z]*mmintrin|immintrin|x86intrin|arm_neon|"
+    r"arm_acle)\.h>")
 
 
 def check_rng(code: str) -> Optional[str]:
@@ -318,6 +334,14 @@ def check_partition_mailbox(code: str) -> Optional[str]:
     return None
 
 
+def check_raw_simd(code: str) -> Optional[str]:
+    if RAW_SIMD_RE.search(code):
+        return ("vendor SIMD intrinsic/type/header outside util/simd.hh; "
+                "vector code must go through the Lanes policies so the "
+                "scalar-vs-SIMD bit-equality sweep covers it")
+    return None
+
+
 def check_naked_sync(code: str) -> Optional[str]:
     if NAKED_SYNC_RE.search(code) and "CHOPIN_GUARDED_BY" not in code and \
             "CHOPIN_PT_GUARDED_BY" not in code:
@@ -402,6 +426,15 @@ RULES = [
          "with a justification",
          in_partition_layer,
          check_partition_mailbox),
+    Rule("raw-simd",
+         "vendor SIMD lives only in src/util/simd.hh",
+         "express the operation through a Lanes policy (broadcast/add/mul/"
+         "cmpGt/cmpEq/store in src/util/simd.hh) or add the missing "
+         "primitive to every backend there, including the scalar reference, "
+         "so tests/gfx/raster_simd_test.cc keeps the bit-equality guarantee",
+         lambda rel: (in_src(rel) or rel.startswith("bench/")) and
+         rel != "src/util/simd.hh",
+         check_raw_simd),
     Rule("bench-stats-print",
          "bench counter output flows through the registry serializers",
          "route the value through TextTable rows or JsonWriter fields "
@@ -671,6 +704,18 @@ SELFTEST_CASES = [
     ("partition-mailbox", "src/sfr/epoch_compose.cc",
      "net.transfer(s, d, b, t, c); // chopin-lint: allow(partition-mailbox)",
      False),
+    ("raw-simd", "src/gfx/raster.cc",
+     "__m128 w = _mm_add_ps(a, b);", True),
+    ("raw-simd", "src/gfx/raster.hh",
+     "#include <immintrin.h>", True),
+    ("raw-simd", "bench/perf_frame.cpp",
+     "float32x4_t v = vdupq_n_f32(x);", True),  # NEON type, bench in scope
+    ("raw-simd", "src/util/simd.hh",
+     "__m256 w = _mm256_add_ps(a, b);", False),  # the one sanctioned home
+    ("raw-simd", "src/gfx/raster.cc",
+     "// quad kernel: see util/simd.hh for the _mm_* backends", False),
+    ("raw-simd", "src/gfx/raster.cc",
+     "__m128 w; // chopin-lint: allow(raw-simd)", False),
     # Legacy suppression spelling still honored.
     ("rng", "src/gfx/raster.cc",
      "int x = rand(); // lint:allow(rng)", False),

@@ -8,11 +8,14 @@ scalability bound. A gate that silently stops failing is worse than no
 gate, so this script proves both paths still reject bad inputs, using
 fixture dumps under tests/data/bench_json/:
 
-  run_fast.json     healthy run, gmean speedup 3.47x
+  run_fast.json     healthy run: gmean speedup 3.47x, timing 2.91x,
+                    raster kernel 2.84x
   run_slow.json     same simulation results (hashes/cycles/tris identical
-                    to run_fast) but no host speedup, gmean 1.02x
+                    to run_fast) but no speedup anywhere: gmean 1.02x,
+                    timing 1.01x, raster 1.04x
   run_badhash.json  run_fast with one frame_hash and one cycle count
-                    corrupted — what a determinism regression looks like
+                    corrupted — what a determinism regression looks like —
+                    and without the timing/raster series keys (an old dump)
 
 Registered as the `bench_json_selftest` ctest. Usage:
 
@@ -97,6 +100,24 @@ def main() -> int:
     expect("timing min-speedup rejects run_slow",
            runTool(root, slow, "--series", "timing", "--min-speedup", "1.5"),
            want_exit=1, want_in_output="FAIL: timing-engine speedup")
+
+    # The raster series (SIMD quad rasterizer vs scalar reference) is the
+    # third independent gate: run_fast carries a healthy 2.84x kernel,
+    # run_slow a 1.04x one (what a vectorization regression — or a
+    # forced-scalar build leaking into the gated leg — looks like).
+    expect("raster series reported",
+           runTool(root, fast),
+           want_exit=0, want_in_output="raster kernel: sse2 x4: 2.84x")
+    expect("raster min-speedup accepts run_fast",
+           runTool(root, fast, "--series", "raster", "--min-speedup", "1.5"),
+           want_exit=0, want_in_output="OK: raster-kernel speedup")
+    expect("raster min-speedup rejects run_slow",
+           runTool(root, slow, "--series", "raster", "--min-speedup", "1.5"),
+           want_exit=1, want_in_output="FAIL: raster-kernel speedup")
+    expect("raster gate on old dump is a hard error",
+           runTool(root, badhash, "--series", "raster",
+                   "--min-speedup", "1.5"),
+           want_exit=1, want_in_output="missing key 'raster_speedup'")
 
     # Dumps that predate the timing series stay loadable (the keys are
     # optional), but gating on the absent series is a hard error.
