@@ -29,6 +29,15 @@
  *    order-sensitive fragment hash proves the two paths emitted the exact
  *    same fragments before the ratio means anything (gated in CI via
  *    bench_json.py --series raster --min-speedup).
+ *  - `stream_speedup`: wall-clock serial/parallel ratio of the frame-stream
+ *    pipeline (sfr/sequence.hh) rendering a 16-frame orbit sequence under
+ *    hybrid AFR+SFR, with frames simulated scenario-parallel on the pool.
+ *    Every registered stream metric — including the sequence hash folding
+ *    each frame's hash and completion tick — must be bit-identical between
+ *    the two legs before the ratio is reported (gated in CI via
+ *    bench_json.py --series stream --min-speedup). --stream-out additionally
+ *    writes a standalone BENCH_stream.json with one row per stream scheme
+ *    (pure SFR / pure AFR / hybrid), same contract as the main dump.
  */
 
 #include "common.hh"
@@ -41,6 +50,7 @@
 
 #include "gfx/raster.hh"
 #include "net/interconnect.hh"
+#include "trace/generator.hh"
 #include "net/partitioned_net.hh"
 #include "sim/event_queue.hh"
 #include "sim/parallel_engine.hh"
@@ -92,6 +102,25 @@ checkIdentical(const FrameResult &serial, const FrameResult &parallel,
         names += (names.empty() ? "" : ", ") + n;
     chopin_assert(false, what, ": metrics differ between --jobs=1 and "
                   "--jobs=N: ", names);
+}
+
+/** Same idea for a whole stream run: every registered stream metric (which
+ *  folds the per-frame hashes and completion ticks via the sequence hash)
+ *  must be identical between the serial and parallel legs. */
+void
+checkIdenticalStream(const chopin::SequenceResult &serial,
+                     const chopin::SequenceResult &parallel,
+                     const std::string &what)
+{
+    const chopin::SequenceAccounting &a = serial;
+    const chopin::SequenceAccounting &b = parallel;
+    if (chopin::metricsEqual(a, b))
+        return;
+    std::string names;
+    for (const std::string &n : chopin::metricsDiff(a, b))
+        names += (names.empty() ? "" : ", ") + n;
+    chopin_assert(false, what, ": stream metrics differ between --jobs=1 "
+                  "and --jobs=N: ", names);
 }
 
 struct Measurement
@@ -362,6 +391,8 @@ main(int argc, char **argv)
     h.addFlag("repeat", "3", "timed repetitions per configuration (best-of)");
     h.addFlag("out", "BENCH_frame.json",
               "JSON summary path (empty = don't write)");
+    h.addFlag("stream-out", "",
+              "standalone stream-series JSON path (empty = don't write)");
     h.parse(argc, argv);
 
     // parse() applied --jobs (default: CHOPIN_JOBS env or hardware
@@ -371,6 +402,9 @@ main(int argc, char **argv)
     std::string out_path = h.flags().getString("out");
     if (!out_path.empty())
         checkWritablePath(out_path, "--out");
+    std::string stream_out_path = h.flags().getString("stream-out");
+    if (!stream_out_path.empty())
+        checkWritablePath(stream_out_path, "--stream-out");
 
     const Scheme schemes[] = {Scheme::SingleGpu, Scheme::Duplication,
                               Scheme::Gpupd, Scheme::Chopin,
@@ -521,6 +555,75 @@ main(int argc, char **argv)
     double raster_speedup =
         raster_ns_simd > 0.0 ? raster_ns_scalar / raster_ns_simd : 1.0;
 
+    // Frame-stream series: a 16-frame orbit sequence through the stream
+    // pipeline under all three stream schemes. Frames simulate
+    // scenario-parallel on the pool, so the checksum oracle — full
+    // registered-metric equality, including the sequence hash over every
+    // frame's hash and completion tick — runs before any ratio is reported.
+    // The hybrid AFR+SFR leg is the `stream_speedup` series gated in CI.
+    constexpr std::uint32_t stream_frames = 16;
+    SequenceParams stream_params;
+    stream_params.num_frames = stream_frames;
+    stream_params.path = CameraPath::Orbit;
+    const SequenceTrace stream_seq =
+        generateBenchmarkSequence("wolf", h.scale(), stream_params);
+    std::uint64_t stream_tris = 0;
+    for (const DrawCommand &cmd : stream_seq.base.draws)
+        stream_tris += cmd.triangleCount();
+    stream_tris *= stream_frames;
+
+    SystemConfig stream_cfg;
+    stream_cfg.num_gpus = h.gpus();
+    const unsigned hybrid_groups = stream_cfg.num_gpus % 2 == 0 ? 2 : 1;
+
+    struct StreamMeasurement
+    {
+        SequenceScheme scheme = SequenceScheme::HybridAfrSfr;
+        double ns_serial = std::numeric_limits<double>::infinity();
+        double ns_parallel = std::numeric_limits<double>::infinity();
+        double speedup = 0.0;
+        SequenceResult result; ///< serial leg (oracle-checked == parallel)
+    };
+    std::vector<StreamMeasurement> stream_runs;
+    std::vector<double> stream_speedups;
+    for (SequenceScheme scheme :
+         {SequenceScheme::PureSfr, SequenceScheme::PureAfr,
+          SequenceScheme::HybridAfrSfr}) {
+        SequenceOptions opt;
+        opt.scheme = scheme;
+        opt.afr_groups = hybrid_groups;
+        StreamMeasurement m;
+        m.scheme = scheme;
+        SequenceResult parallel;
+
+        setGlobalJobs(1);
+        for (int rep = 0; rep < repeat; ++rep) {
+            double ns = elapsedNs([&] {
+                m.result = runSequence(opt, stream_cfg, stream_seq);
+            });
+            m.ns_serial = std::min(m.ns_serial, ns);
+        }
+        setGlobalJobs(jobs_parallel);
+        for (int rep = 0; rep < repeat; ++rep) {
+            double ns = elapsedNs([&] {
+                parallel = runSequence(opt, stream_cfg, stream_seq);
+            });
+            m.ns_parallel = std::min(m.ns_parallel, ns);
+        }
+        checkIdenticalStream(m.result, parallel,
+                             std::string("stream/") + toString(scheme));
+        m.speedup = m.ns_parallel > 0.0 ? m.ns_serial / m.ns_parallel : 1.0;
+        stream_speedups.push_back(m.speedup);
+        stream_runs.push_back(std::move(m));
+    }
+    const StreamMeasurement &hybrid_run = stream_runs.back();
+    double stream_speedup = hybrid_run.speedup;
+    double stream_frames_per_s =
+        hybrid_run.ns_parallel > 0.0
+            ? static_cast<double>(stream_frames) * 1e9 /
+                  hybrid_run.ns_parallel
+            : 0.0;
+
     std::cout << "\nepoch engine: " << timing_events << " events, "
               << formatDouble(timing_ns_serial / 1e6, 2) << " ms j1, "
               << formatDouble(timing_ns_parallel / 1e6, 2) << " ms j"
@@ -534,7 +637,19 @@ main(int argc, char **argv)
               << " ns/px scalar, " << formatDouble(raster_ns_per_pixel, 2)
               << " ns/px simd, " << formatDouble(raster_speedup, 2)
               << "x speedup (" << oracle_scalar.pixels
-              << " px/pass, hashes identical)\n";
+              << " px/pass, hashes identical)\n"
+              << "stream pipeline: " << stream_frames
+              << "-frame wolf orbit on " << stream_cfg.num_gpus
+              << " GPUs, hybrid " << hybrid_groups << "x"
+              << stream_cfg.num_gpus / hybrid_groups << ": "
+              << formatDouble(hybrid_run.ns_serial / 1e6, 2) << " ms j1, "
+              << formatDouble(hybrid_run.ns_parallel / 1e6, 2) << " ms j"
+              << jobs_parallel << ", "
+              << formatDouble(stream_speedup, 2) << "x speedup, "
+              << formatDouble(stream_frames_per_s, 1) << " frames/s, "
+              << "micro-stutter "
+              << formatDouble(hybrid_run.result.micro_stutter, 1)
+              << " cycles\n";
 
     if (!out_path.empty()) {
         std::ofstream out(out_path);
@@ -558,6 +673,14 @@ main(int argc, char **argv)
         w.field("raster_backend", simd::kNativeBackend);
         w.field("raster_width",
                 static_cast<std::uint64_t>(simd::NativeLanes::width));
+        w.field("stream_speedup", stream_speedup);
+        w.field("stream_frames",
+                static_cast<std::uint64_t>(stream_frames));
+        w.field("stream_frames_per_s", stream_frames_per_s);
+        w.field("stream_frames_per_mcycle",
+                hybrid_run.result.frames_per_mcycle);
+        w.field("stream_micro_stutter", hybrid_run.result.micro_stutter);
+        w.field("stream_sequence_hash", hybrid_run.result.sequence_hash);
         w.key("results");
         w.beginArray();
         for (const Measurement &m : measurements) {
@@ -577,6 +700,54 @@ main(int argc, char **argv)
         w.endObject();
         w.finish();
         std::cout << "wrote " << out_path << "\n";
+    }
+
+    if (!stream_out_path.empty()) {
+        // Standalone stream dump, same top-level contract as the main one
+        // (results / gmean_speedup / jobs_parallel) so bench_json.py loads,
+        // reports, gates and --compares it unchanged. One row per stream
+        // scheme; frame_hash carries the sequence hash and cycles the
+        // stream makespan, so --compare doubles as the cross-run (and
+        // cross-build) stream determinism check.
+        std::ofstream out(stream_out_path);
+        chopin_assert(out.good(), "cannot write ", stream_out_path);
+        JsonWriter w(out);
+        w.beginObject();
+        w.field("scale", h.scale());
+        w.field("gpus", h.gpus());
+        w.field("jobs_parallel", jobs_parallel);
+        w.field("repeat", repeat);
+        w.field("gmean_speedup", gmean(stream_speedups));
+        w.field("stream_speedup", stream_speedup);
+        w.field("stream_frames",
+                static_cast<std::uint64_t>(stream_frames));
+        w.field("stream_frames_per_s", stream_frames_per_s);
+        w.field("stream_frames_per_mcycle",
+                hybrid_run.result.frames_per_mcycle);
+        w.field("stream_micro_stutter", hybrid_run.result.micro_stutter);
+        w.field("stream_sequence_hash", hybrid_run.result.sequence_hash);
+        w.key("results");
+        w.beginArray();
+        for (const StreamMeasurement &m : stream_runs) {
+            w.beginObject();
+            w.field("bench", "wolf-orbit" + std::to_string(stream_frames));
+            w.field("scheme", toString(m.scheme));
+            w.field("tris", stream_tris);
+            w.field("ns_frame_serial",
+                    m.ns_serial / static_cast<double>(stream_frames));
+            w.field("ns_frame_parallel",
+                    m.ns_parallel / static_cast<double>(stream_frames));
+            w.field("mtris_per_s",
+                    mtrisPerSecond(stream_tris, m.ns_parallel));
+            w.field("speedup", m.speedup);
+            w.field("frame_hash", m.result.sequence_hash);
+            w.field("cycles", m.result.makespan);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        w.finish();
+        std::cout << "wrote " << stream_out_path << "\n";
     }
 
     SystemConfig trace_cfg;

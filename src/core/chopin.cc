@@ -28,4 +28,25 @@ speedupOver(const FrameResult &baseline, const FrameResult &result)
            static_cast<double>(result.cycles);
 }
 
+std::vector<SequenceResult>
+runStreamComparison(const SystemConfig &cfg, const SequenceTrace &seq,
+                    unsigned hybrid_groups, Scheme intra_scheme)
+{
+    static const SequenceScheme schemes[] = {
+        SequenceScheme::PureSfr,
+        SequenceScheme::PureAfr,
+        SequenceScheme::HybridAfrSfr,
+    };
+    std::vector<SequenceResult> results;
+    results.reserve(std::size(schemes));
+    for (SequenceScheme s : schemes) {
+        SequenceOptions opt;
+        opt.scheme = s;
+        opt.intra_scheme = intra_scheme;
+        opt.afr_groups = hybrid_groups;
+        results.push_back(runSequence(opt, cfg, seq));
+    }
+    return results;
+}
+
 } // namespace chopin

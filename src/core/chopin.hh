@@ -36,6 +36,7 @@
 #include "sfr/config.hh"
 #include "sfr/grouping.hh"
 #include "sfr/schemes.hh"
+#include "sfr/sequence.hh"
 #include "stats/table.hh"
 #include "trace/generator.hh"
 #include "trace/trace_io.hh"
@@ -59,6 +60,19 @@ std::vector<FrameResult> runMainComparison(const SystemConfig &cfg,
 
 /** Speedup of @p result over @p baseline (frame cycles ratio). */
 double speedupOver(const FrameResult &baseline, const FrameResult &result);
+
+/**
+ * Run the Section VI-H stream comparison on one sequence: pure SFR, pure
+ * AFR and the AFR+SFR hybrid (at @p hybrid_groups groups), all with
+ * @p intra_scheme inside multi-GPU groups. Results are ordered PureSfr,
+ * PureAfr, HybridAfrSfr — latency falls and micro-stutter rises along
+ * that ordering on throughput-bound streams, which is the paper's
+ * latency/throughput/consistency trade-off in one table.
+ */
+std::vector<SequenceResult> runStreamComparison(
+    const SystemConfig &cfg, const SequenceTrace &seq,
+    unsigned hybrid_groups = 2,
+    Scheme intra_scheme = Scheme::ChopinCompSched);
 
 } // namespace chopin
 

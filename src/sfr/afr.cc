@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sfr/sequence.hh"
 #include "util/log.hh"
 
 namespace chopin
@@ -59,7 +60,10 @@ runAfr(const SystemConfig &cfg, std::span<const FrameTrace> frames,
 
     // A group renders its frames back to back; groups run independently
     // (AFR groups share no state: each holds a full copy of the scene).
-    std::vector<Tick> group_free(afr_groups, 0);
+    // The group bookkeeping is the shared FramePipeline (sfr/sequence.hh),
+    // here always without carry-over: distinct input frames give no
+    // composition tail to overlap.
+    FramePipeline pipe(afr_groups);
     result.frame_latency.reserve(frames.size());
     result.frame_complete.reserve(frames.size());
 
@@ -68,11 +72,10 @@ runAfr(const SystemConfig &cfg, std::span<const FrameTrace> frames,
         Scheme scheme = result.gpus_per_group == 1 ? Scheme::SingleGpu
                                                    : intra_scheme;
         FrameResult r = runScheme(scheme, group_cfg, frames[f]);
-        Tick complete = group_free[group] + r.cycles;
-        group_free[group] = complete;
+        FramePipeline::Slot slot = pipe.schedule(group, r.cycles);
         result.frame_latency.push_back(r.cycles);
-        result.frame_complete.push_back(complete);
-        result.makespan = std::max(result.makespan, complete);
+        result.frame_complete.push_back(slot.complete);
+        result.makespan = std::max(result.makespan, slot.complete);
     }
     return result;
 }

@@ -525,4 +525,97 @@ generateBenchmark(const std::string &name, int scale_divisor)
     return generateTrace(scaleProfile(p, scale_divisor));
 }
 
+SequenceTrace
+generateSequence(const BenchmarkProfile &p, const SequenceParams &params)
+{
+    chopin_assert(params.num_frames >= 1,
+                  "a sequence needs at least one frame");
+    chopin_assert(params.knobs.camera_hold >= 1,
+                  "camera_hold must be >= 1");
+
+    SequenceTrace seq;
+    seq.base = generateTrace(p);
+    seq.path = params.path;
+    seq.knobs = params.knobs;
+
+    // Per-object animation channels, drawn from a stream independent of
+    // the geometry stream (changing knobs or frame count never perturbs
+    // the shared base): a deterministic animated_frac subset of the
+    // opaque, depth-writing draws (backgrounds and the transparent tail
+    // stay pinned — animating a full-screen quad reads as flicker, not
+    // motion).
+    struct Channel
+    {
+        std::uint32_t draw;
+        float phase;
+        float rate;
+    };
+    Rng anim_rng(p.seed ^ 0x5eb0e11cu);
+    std::vector<Channel> channels;
+    for (std::uint32_t i = 0; i < seq.base.draws.size(); ++i) {
+        const DrawCommand &d = seq.base.draws[i];
+        if (!d.state.depth_write || d.state.stencil_test)
+            continue;
+        if (!anim_rng.nextBool(params.knobs.animated_frac))
+            continue;
+        Channel c;
+        c.draw = i;
+        c.phase = anim_rng.nextFloat(0.0f, 6.2831853f);
+        c.rate = anim_rng.nextFloat(0.5f, 1.5f);
+        channels.push_back(c);
+    }
+
+    seq.frames.resize(params.num_frames);
+    for (std::uint32_t f = 0; f < params.num_frames; ++f) {
+        FrameKey &key = seq.frames[f];
+
+        // Camera spline, advancing once every camera_hold frames. Deltas
+        // apply in NDC space (post base view_proj): the generator emits
+        // screen-space geometry with an identity view_proj.
+        float t = static_cast<float>(f / params.knobs.camera_hold) *
+                  params.knobs.camera_step;
+        switch (params.path) {
+          case CameraPath::Static:
+            key.view_proj = seq.base.view_proj;
+            break;
+          case CameraPath::Orbit: {
+            float zoom = 1.0f + 0.1f * std::sin(0.5f * t);
+            key.view_proj = Mat4::rotateZ(t) *
+                            Mat4::scale(zoom, zoom, 1.0f) *
+                            seq.base.view_proj;
+            break;
+          }
+          case CameraPath::Dolly: {
+            float push = 1.0f + t;
+            key.view_proj = Mat4::scale(push, push, 1.0f) *
+                            seq.base.view_proj;
+            break;
+          }
+        }
+
+        // Object channels: small screen-space drift + roll per frame.
+        key.transforms.reserve(channels.size());
+        for (const Channel &c : channels) {
+            float a = c.phase + 0.7f * c.rate * static_cast<float>(f);
+            float amp = params.knobs.object_motion;
+            Mat4 anim = Mat4::translate(amp * std::sin(a),
+                                        amp * std::cos(a), 0.0f) *
+                        Mat4::rotateZ(0.25f * amp * std::sin(a + 1.3f));
+            key.transforms.emplace_back(
+                c.draw, anim * seq.base.draws[c.draw].model);
+        }
+    }
+    return seq;
+}
+
+SequenceTrace
+generateBenchmarkSequence(const std::string &name, int scale_divisor,
+                          const SequenceParams &params)
+{
+    const BenchmarkProfile &p = benchmarkProfile(name);
+    if (scale_divisor <= 1)
+        return generateSequence(p, params);
+    return generateSequence(scaleProfile(p, scale_divisor), params);
+}
+
 } // namespace chopin

@@ -25,6 +25,7 @@
 
 #include "trace/draw_command.hh"
 #include "trace/profile.hh"
+#include "trace/sequence.hh"
 
 namespace chopin
 {
@@ -34,6 +35,31 @@ FrameTrace generateTrace(const BenchmarkProfile &profile);
 
 /** Convenience: generate a benchmark by name at a given scale divisor. */
 FrameTrace generateBenchmark(const std::string &name, int scale_divisor = 1);
+
+/** Shape of a generated frame sequence (trace/sequence.hh). */
+struct SequenceParams
+{
+    std::uint32_t num_frames = 8;
+    CameraPath path = CameraPath::Orbit;
+    CoherenceKnobs knobs;
+};
+
+/**
+ * Generate an animated frame sequence for @p profile: the base frame is
+ * exactly generateTrace(profile); per-frame keys add a camera spline
+ * (Orbit rolls the view with a slight zoom oscillation, Dolly pushes in,
+ * Static pins it) advancing every knobs.camera_hold frames, and a
+ * deterministic knobs.animated_frac subset of the opaque object draws gets
+ * a sinusoidal model-matrix animation channel of amplitude
+ * knobs.object_motion. Deterministic in (profile.seed, params).
+ */
+SequenceTrace generateSequence(const BenchmarkProfile &profile,
+                               const SequenceParams &params);
+
+/** Convenience: generateSequence for a named benchmark at a scale. */
+SequenceTrace generateBenchmarkSequence(const std::string &name,
+                                        int scale_divisor = 1,
+                                        const SequenceParams &params = {});
 
 } // namespace chopin
 

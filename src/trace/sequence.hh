@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Frame sequences: ordered lists of frames sharing one geometry set.
+ *
+ * The paper evaluates single-frame captures, but its Section VI-H hybrid
+ * AFR+SFR discussion is about frame *streams*: latency, throughput and
+ * inter-frame consistency only exist across consecutive frames. A
+ * SequenceTrace is the native unit for those experiments — one base
+ * FrameTrace (the shared geometry) plus a per-frame animation key holding
+ * the camera matrix and any per-object model-matrix overrides. Geometry is
+ * never duplicated per frame: materializeFrame() copies the triangle
+ * storage exactly once into a caller-owned scratch frame and then only
+ * swaps matrices, so a 16-frame sequence costs one frame of memory.
+ *
+ * Temporal coherence is explicit (CoherenceKnobs): how far the camera
+ * moves per frame, how many objects animate and by how much, and how many
+ * frames the camera holds still. These knobs are part of the sequence
+ * fingerprint — two sequences with the same base frame but different
+ * animation are different workloads.
+ */
+
+#ifndef CHOPIN_TRACE_SEQUENCE_HH
+#define CHOPIN_TRACE_SEQUENCE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "trace/draw_command.hh"
+
+namespace chopin
+{
+
+/** Camera spline shape driving per-frame view_proj keys. */
+enum class CameraPath : std::uint32_t
+{
+    Static, ///< camera never moves (upgraded single-frame traces)
+    Orbit,  ///< roll about the view axis with a slight zoom oscillation
+    Dolly,  ///< push-in/pull-out scale sweep along the view axis
+};
+
+std::string toString(CameraPath p);
+
+/** Temporal-coherence knobs of a generated sequence. */
+struct CoherenceKnobs
+{
+    /** Camera advance per step: radians for Orbit, scale delta for Dolly. */
+    float camera_step = 0.05f;
+    /** Amplitude of per-object animation (NDC units / radians). */
+    float object_motion = 0.02f;
+    /** Fraction of object draws given an animation channel. */
+    float animated_frac = 0.25f;
+    /** The camera advances once every this many frames (>= 1). */
+    std::uint32_t camera_hold = 1;
+};
+
+/** One frame's animation state: everything that differs from the base. */
+struct FrameKey
+{
+    Mat4 view_proj = Mat4::identity();
+    /** Sparse per-draw model-matrix overrides: (draw index, model). Indices
+     *  are strictly increasing and < base.draws.size(). */
+    std::vector<std::pair<std::uint32_t, Mat4>> transforms;
+};
+
+/**
+ * An ordered list of frames sharing the base frame's geometry. frames[i]
+ * holds frame i's camera and object transforms; every other field (draw
+ * list, raster state, triangles, clear state, render targets) comes from
+ * the base. A sequence with one Static frame and no overrides is exactly
+ * the base frame — that is what upgrading a single-frame trace produces.
+ */
+struct SequenceTrace
+{
+    FrameTrace base;
+    std::vector<FrameKey> frames;
+    CameraPath path = CameraPath::Static;
+    CoherenceKnobs knobs;
+
+    std::size_t frameCount() const { return frames.size(); }
+
+    /**
+     * Produce frame @p index into @p scratch. The first call (or a call
+     * with a scratch from another sequence) copies the base — including
+     * the triangle storage — once; subsequent calls on the same scratch
+     * only reset matrices, so iterating a sequence never re-copies or
+     * rebins the shared geometry.
+     */
+    void materializeFrame(std::size_t index, FrameTrace &scratch) const;
+
+    /** Convenience: materializeFrame into a fresh FrameTrace. */
+    FrameTrace frame(std::size_t index) const;
+};
+
+/**
+ * In-memory upgrade of a single-frame trace to a 1-frame sequence (the
+ * v3 -> v4 trace-format upgrader runs through this). The sequence
+ * fingerprints identically to a natively authored equivalent: Static path,
+ * default knobs, one key carrying the frame's view_proj, no overrides.
+ */
+SequenceTrace sequenceFromFrame(FrameTrace frame);
+
+} // namespace chopin
+
+#endif // CHOPIN_TRACE_SEQUENCE_HH

@@ -12,8 +12,11 @@ namespace chopin
 namespace
 {
 
-constexpr std::uint32_t traceMagic = 0x43484f50; // "CHOP"
-constexpr std::uint32_t traceVersion = 3; // v3: stencil + RT sampling
+// The only sanctioned home of the on-disk magic/version constants; the
+// `trace-version` lint rule bans raw literals everywhere else.
+constexpr std::uint32_t traceMagic = 0x43484f50;       // "CHOP"
+constexpr std::uint32_t traceVersionFrame = 3;    // v3: stencil + RT sampling
+constexpr std::uint32_t traceVersionSequence = 4; // v4: frame sequences
 
 template <typename T>
 void
@@ -23,16 +26,6 @@ put(std::ostream &os, const T &v)
     os.write(reinterpret_cast<const char *>(&v), sizeof(T));
 }
 
-template <typename T>
-void
-get(std::istream &is, T &v)
-{
-    static_assert(std::is_trivially_copyable_v<T>);
-    is.read(reinterpret_cast<char *>(&v), sizeof(T));
-    if (!is)
-        fatal("trace file truncated");
-}
-
 void
 putString(std::ostream &os, const std::string &s)
 {
@@ -40,31 +33,82 @@ putString(std::ostream &os, const std::string &s)
     os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-std::string
-getString(std::istream &is)
+/**
+ * Soft-failing reader implementing the load half of the error contract in
+ * trace_io.hh: the first short read or sanity-check failure poisons the
+ * reader and records a diagnostic; every later read is a no-op returning
+ * false. Malformed input therefore surfaces as `false` + warn() in the
+ * loaders, never as a fatal() or a crash.
+ */
+class Reader
 {
-    std::uint32_t n;
-    get(is, n);
-    if (n > (1u << 20))
-        fatal("trace file corrupt: unreasonable string length ", n);
-    std::string s(n, '\0');
-    is.read(s.data(), n);
-    if (!is)
-        fatal("trace file truncated");
-    return s;
-}
+  public:
+    explicit Reader(const std::string &path) : is(path, std::ios::binary)
+    {
+        if (!is)
+            fail("cannot open file");
+    }
 
-} // namespace
+    bool ok() const { return ok_; }
+    const std::string &error() const { return error_; }
 
-bool
-saveTrace(const FrameTrace &trace, const std::string &path)
-{
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
+    bool
+    fail(std::string message)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = std::move(message);
+        }
         return false;
+    }
 
-    put(os, traceMagic);
-    put(os, traceVersion);
+    template <typename T>
+    bool
+    get(T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (!ok_)
+            return false;
+        is.read(reinterpret_cast<char *>(&v), sizeof(T));
+        if (!is)
+            return fail("file truncated");
+        return true;
+    }
+
+    bool
+    getBytes(void *data, std::size_t size)
+    {
+        if (!ok_)
+            return false;
+        is.read(static_cast<char *>(data),
+                static_cast<std::streamsize>(size));
+        if (!is)
+            return fail("file truncated");
+        return true;
+    }
+
+    bool
+    getString(std::string &s)
+    {
+        std::uint32_t n = 0;
+        if (!get(n))
+            return false;
+        if (n > (1u << 20))
+            return fail("unreasonable string length " + std::to_string(n));
+        s.assign(n, '\0');
+        return getBytes(s.data(), n);
+    }
+
+  private:
+    std::ifstream is;
+    bool ok_ = true;
+    std::string error_;
+};
+
+/** The shared per-frame payload: identical layout in v3 and the v4 base. */
+void
+putFrameBody(std::ostream &os, const FrameTrace &trace)
+{
     putString(os, trace.name);
     putString(os, trace.full_name);
     put(os, trace.viewport.width);
@@ -86,6 +130,135 @@ saveTrace(const FrameTrace &trace, const std::string &path)
         os.write(reinterpret_cast<const char *>(d.triangles.data()),
                  static_cast<std::streamsize>(d.triangles.size() *
                                               sizeof(Triangle)));
+    }
+}
+
+bool
+getFrameBody(Reader &r, FrameTrace &trace)
+{
+    trace = FrameTrace{};
+    if (!r.getString(trace.name) || !r.getString(trace.full_name))
+        return false;
+    if (!r.get(trace.viewport.width) || !r.get(trace.viewport.height) ||
+        !r.get(trace.view_proj) || !r.get(trace.clear_color) ||
+        !r.get(trace.clear_depth) || !r.get(trace.num_render_targets) ||
+        !r.get(trace.num_depth_buffers))
+        return false;
+    std::uint64_t n_draws = 0;
+    if (!r.get(n_draws))
+        return false;
+    if (n_draws > (1ull << 24))
+        return r.fail("unreasonable draw count " + std::to_string(n_draws));
+    trace.draws.resize(n_draws);
+    for (DrawCommand &d : trace.draws) {
+        if (!r.get(d.id) || !r.get(d.state) || !r.get(d.model) ||
+            !r.get(d.alpha_ref) || !r.get(d.backface_cull) ||
+            !r.get(d.texture_rt))
+            return false;
+        std::uint64_t n_tris = 0;
+        if (!r.get(n_tris))
+            return false;
+        if (n_tris > (1ull << 28))
+            return r.fail("unreasonable triangle count " +
+                          std::to_string(n_tris));
+        d.triangles.resize(n_tris);
+        if (!r.getBytes(d.triangles.data(), n_tris * sizeof(Triangle)))
+            return false;
+    }
+    return true;
+}
+
+/** The v4 tail after the base frame body: path, knobs, per-frame keys. */
+bool
+getSequenceBody(Reader &r, SequenceTrace &seq)
+{
+    seq = SequenceTrace{};
+    if (!getFrameBody(r, seq.base))
+        return false;
+    std::uint32_t path_raw = 0;
+    if (!r.get(path_raw))
+        return false;
+    if (path_raw > static_cast<std::uint32_t>(CameraPath::Dolly))
+        return r.fail("unknown camera path " + std::to_string(path_raw));
+    seq.path = static_cast<CameraPath>(path_raw);
+    if (!r.get(seq.knobs.camera_step) || !r.get(seq.knobs.object_motion) ||
+        !r.get(seq.knobs.animated_frac) || !r.get(seq.knobs.camera_hold))
+        return false;
+    std::uint64_t n_frames = 0;
+    if (!r.get(n_frames))
+        return false;
+    if (n_frames == 0 || n_frames > (1ull << 20))
+        return r.fail("unreasonable frame count " +
+                      std::to_string(n_frames));
+    seq.frames.resize(n_frames);
+    for (FrameKey &key : seq.frames) {
+        if (!r.get(key.view_proj))
+            return false;
+        std::uint64_t n_overrides = 0;
+        if (!r.get(n_overrides))
+            return false;
+        if (n_overrides > seq.base.draws.size())
+            return r.fail("unreasonable override count " +
+                          std::to_string(n_overrides));
+        key.transforms.resize(n_overrides);
+        for (auto &[draw, model] : key.transforms) {
+            if (!r.get(draw) || !r.get(model))
+                return false;
+            if (draw >= seq.base.draws.size())
+                return r.fail("transform override targets draw " +
+                              std::to_string(draw) + " of " +
+                              std::to_string(seq.base.draws.size()));
+        }
+    }
+    return true;
+}
+
+/** Emit the load-contract diagnostic and return false. */
+bool
+loadFail(const std::string &path, const std::string &reason)
+{
+    warn("cannot load trace '", path, "': ", reason);
+    return false;
+}
+
+} // namespace
+
+bool
+saveTrace(const FrameTrace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    put(os, traceMagic);
+    put(os, traceVersionFrame);
+    putFrameBody(os, trace);
+    return static_cast<bool>(os);
+}
+
+bool
+saveSequence(const SequenceTrace &seq, const std::string &path)
+{
+    if (seq.frames.empty())
+        return false; // an empty sequence is not representable
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    put(os, traceMagic);
+    put(os, traceVersionSequence);
+    putFrameBody(os, seq.base);
+    put(os, static_cast<std::uint32_t>(seq.path));
+    put(os, seq.knobs.camera_step);
+    put(os, seq.knobs.object_motion);
+    put(os, seq.knobs.animated_frac);
+    put(os, seq.knobs.camera_hold);
+    put(os, static_cast<std::uint64_t>(seq.frames.size()));
+    for (const FrameKey &key : seq.frames) {
+        put(os, key.view_proj);
+        put(os, static_cast<std::uint64_t>(key.transforms.size()));
+        for (const auto &[draw, model] : key.transforms) {
+            put(os, draw);
+            put(os, model);
+        }
     }
     return static_cast<bool>(os);
 }
@@ -132,55 +305,91 @@ traceFingerprint(const FrameTrace &trace)
     return fp.value();
 }
 
+std::uint64_t
+sequenceFingerprint(const SequenceTrace &seq)
+{
+    Fingerprinter fp;
+    fp.str("SequenceTrace/v1");
+    fp.u64(traceFingerprint(seq.base));
+    fp.u64(static_cast<std::uint64_t>(seq.path));
+    fp.f32(seq.knobs.camera_step)
+        .f32(seq.knobs.object_motion)
+        .f32(seq.knobs.animated_frac)
+        .u64(seq.knobs.camera_hold);
+    fp.u64(seq.frames.size());
+    for (const FrameKey &key : seq.frames) {
+        fp.bytes(&key.view_proj.m, sizeof(key.view_proj.m));
+        fp.u64(key.transforms.size());
+        for (const auto &[draw, model] : key.transforms) {
+            fp.u64(draw);
+            fp.bytes(&model.m, sizeof(model.m));
+        }
+    }
+    return fp.value();
+}
+
 bool
 loadTrace(FrameTrace &trace, const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        return false;
-
-    std::uint32_t magic, version;
-    get(is, magic);
-    get(is, version);
+    Reader r(path);
+    std::uint32_t magic = 0, version = 0;
+    if (!r.get(magic))
+        return loadFail(path, r.error());
     if (magic != traceMagic)
-        fatal("'", path, "' is not a CHOPIN trace file");
-    if (version != traceVersion)
-        fatal("trace file version ", version, " unsupported (expected ",
-              traceVersion, ")");
+        return loadFail(path, "not a CHOPIN trace file");
+    if (!r.get(version))
+        return loadFail(path, r.error());
 
-    trace = FrameTrace{};
-    trace.name = getString(is);
-    trace.full_name = getString(is);
-    get(is, trace.viewport.width);
-    get(is, trace.viewport.height);
-    get(is, trace.view_proj);
-    get(is, trace.clear_color);
-    get(is, trace.clear_depth);
-    get(is, trace.num_render_targets);
-    get(is, trace.num_depth_buffers);
-    std::uint64_t n_draws;
-    get(is, n_draws);
-    if (n_draws > (1ull << 24))
-        fatal("trace file corrupt: unreasonable draw count ", n_draws);
-    trace.draws.resize(n_draws);
-    for (DrawCommand &d : trace.draws) {
-        get(is, d.id);
-        get(is, d.state);
-        get(is, d.model);
-        get(is, d.alpha_ref);
-        get(is, d.backface_cull);
-        get(is, d.texture_rt);
-        std::uint64_t n_tris;
-        get(is, n_tris);
-        if (n_tris > (1ull << 28))
-            fatal("trace file corrupt: unreasonable triangle count ", n_tris);
-        d.triangles.resize(n_tris);
-        is.read(reinterpret_cast<char *>(d.triangles.data()),
-                static_cast<std::streamsize>(n_tris * sizeof(Triangle)));
-        if (!is)
-            fatal("trace file truncated");
+    if (version == traceVersionFrame)
+        return getFrameBody(r, trace) ? true : loadFail(path, r.error());
+
+    if (version == traceVersionSequence) {
+        SequenceTrace seq;
+        if (!getSequenceBody(r, seq))
+            return loadFail(path, r.error());
+        if (seq.frameCount() != 1)
+            return loadFail(path, "holds a " +
+                                      std::to_string(seq.frameCount()) +
+                                      "-frame sequence; use loadSequence()");
+        seq.materializeFrame(0, trace);
+        return true;
     }
-    return true;
+
+    return loadFail(path, "version " + std::to_string(version) +
+                              " unsupported (expected " +
+                              std::to_string(traceVersionFrame) + " or " +
+                              std::to_string(traceVersionSequence) + ")");
+}
+
+bool
+loadSequence(SequenceTrace &seq, const std::string &path)
+{
+    Reader r(path);
+    std::uint32_t magic = 0, version = 0;
+    if (!r.get(magic))
+        return loadFail(path, r.error());
+    if (magic != traceMagic)
+        return loadFail(path, "not a CHOPIN trace file");
+    if (!r.get(version))
+        return loadFail(path, r.error());
+
+    if (version == traceVersionFrame) {
+        // The v3 -> v4 upgrader: a single frame is a 1-frame Static
+        // sequence, fingerprint-identical to its native-v4 equivalent.
+        FrameTrace frame;
+        if (!getFrameBody(r, frame))
+            return loadFail(path, r.error());
+        seq = sequenceFromFrame(std::move(frame));
+        return true;
+    }
+
+    if (version == traceVersionSequence)
+        return getSequenceBody(r, seq) ? true : loadFail(path, r.error());
+
+    return loadFail(path, "version " + std::to_string(version) +
+                              " unsupported (expected " +
+                              std::to_string(traceVersionFrame) + " or " +
+                              std::to_string(traceVersionSequence) + ")");
 }
 
 } // namespace chopin

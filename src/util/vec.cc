@@ -60,6 +60,19 @@ Mat4::rotateX(float radians)
 }
 
 Mat4
+Mat4::rotateZ(float radians)
+{
+    Mat4 r = identity();
+    float c = std::cos(radians);
+    float s = std::sin(radians);
+    r.m[0][0] = c;
+    r.m[0][1] = s;
+    r.m[1][0] = -s;
+    r.m[1][1] = c;
+    return r;
+}
+
+Mat4
 Mat4::perspective(float fovy_radians, float aspect, float z_near, float z_far)
 {
     Mat4 r;

@@ -120,6 +120,9 @@ struct Mat4
     /** Rotation of @p radians around the X axis. */
     static Mat4 rotateX(float radians);
 
+    /** Rotation of @p radians around the Z axis (screen-plane roll). */
+    static Mat4 rotateZ(float radians);
+
     /** Right-handed perspective projection (GL-style, z in [-w, w]). */
     static Mat4 perspective(float fovy_radians, float aspect, float z_near,
                             float z_far);

@@ -65,9 +65,11 @@ TEST(TraceIo, RejectsNonTraceFile)
         std::fwrite(junk, 1, sizeof(junk), f);
         std::fclose(f);
     }
+    // The load contract (trace_io.hh) is false + diagnostic, never fatal.
     FrameTrace t;
-    EXPECT_EXIT(loadTrace(t, path), ::testing::ExitedWithCode(1),
-                "not a CHOPIN trace");
+    EXPECT_FALSE(loadTrace(t, path));
+    SequenceTrace seq;
+    EXPECT_FALSE(loadSequence(seq, path));
     std::remove(path.c_str());
 }
 
@@ -85,8 +87,32 @@ TEST(TraceIo, RejectsTruncatedFile)
         ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
     }
     FrameTrace t;
-    EXPECT_EXIT(loadTrace(t, path), ::testing::ExitedWithCode(1),
-                "truncated");
+    EXPECT_FALSE(loadTrace(t, path));
+    SequenceTrace seq;
+    EXPECT_FALSE(loadSequence(seq, path));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsUnsupportedVersionCleanly)
+{
+    FrameTrace original = generateBenchmark("wolf", 32);
+    std::string path = ::testing::TempDir() + "/chopin_badver.bin";
+    ASSERT_TRUE(saveTrace(original, path));
+    // Patch the version word (bytes 4..7, after the magic) to a future
+    // version: the loaders must return false with a diagnostic, not
+    // fatal() — callers decide whether that is fatal for them.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::uint32_t future = 99;
+        ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0);
+        ASSERT_EQ(std::fwrite(&future, sizeof(future), 1, f), 1u);
+        std::fclose(f);
+    }
+    FrameTrace t;
+    EXPECT_FALSE(loadTrace(t, path));
+    SequenceTrace seq;
+    EXPECT_FALSE(loadSequence(seq, path));
     std::remove(path.c_str());
 }
 

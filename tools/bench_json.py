@@ -17,20 +17,29 @@ ns_frame_parallel, mtris_per_s, speedup, frame_hash, cycles`. sweep_all
 additionally emits a `cache` block (hit rates and per-phase counters),
 which is reported when present. perf_frame additionally emits the
 epoch-parallel engine series (`timing_speedup`, `timing_ns_serial`,
-`timing_ns_parallel`, `timing_events`, `event_queue_ns_per_event`) and the
+`timing_ns_parallel`, `timing_events`, `event_queue_ns_per_event`), the
 quad-rasterizer series (`raster_speedup`, `raster_ns_per_pixel`,
 `raster_ns_per_pixel_scalar`, `raster_pixels`, `raster_backend`,
-`raster_width`); these keys are optional so older dumps stay valid.
+`raster_width`) and the frame-stream series (`stream_speedup`,
+`stream_frames`, `stream_frames_per_s`, `stream_frames_per_mcycle`,
+`stream_micro_stutter`, `stream_sequence_hash`); these keys are optional
+so older dumps stay valid. perf_frame --stream-out writes a standalone
+stream dump (one row per stream scheme, frame_hash = sequence hash,
+cycles = stream makespan) under the same top-level contract, so every
+mode here — report, gates, --compare — works on it unchanged.
 
 --min-speedup fails (exit 1) when the selected speedup series is below the
 bound. --series picks which one: `gmean` (default) is the geometric-mean
 --jobs=N over --jobs=1 frame-rendering speedup, `timing` is the
 epoch-parallel timing-engine speedup, `raster` is the SIMD-over-scalar
 ns/pixel ratio of the quad rasterizer (the harness asserts the two paths
-emitted bit-identical fragments before computing it). gmean and timing are
-only meaningful on multi-core machines; the harness itself already asserts
-bit-identical simulation results at every job count, which is the
-correctness gate.
+emitted bit-identical fragments before computing it), `stream` is the
+frame-stream pipeline's serial-over-parallel ratio on a 16-frame hybrid
+AFR+SFR sequence (the harness asserts every registered stream metric,
+including the sequence hash, is bit-identical between the legs). gmean,
+timing and stream are only meaningful on multi-core machines; the harness
+itself already asserts bit-identical simulation results at every job
+count, which is the correctness gate.
 
 --compare checks that frame hashes and simulated cycle counts of matching
 (bench, scheme) pairs are identical between two runs — e.g. a --jobs=1 run
@@ -51,6 +60,7 @@ SERIES = {
     "gmean": ("gmean_speedup", "gmean speedup"),
     "timing": ("timing_speedup", "timing-engine speedup"),
     "raster": ("raster_speedup", "raster-kernel speedup"),
+    "stream": ("stream_speedup", "stream-pipeline speedup"),
 }
 
 
@@ -93,6 +103,12 @@ def report(data: dict) -> None:
               f"{data['raster_speedup']:.2f}x speedup "
               f"({data.get('raster_ns_per_pixel_scalar', 0.0):.2f} -> "
               f"{data.get('raster_ns_per_pixel', 0.0):.2f} ns/px)")
+    if "stream_speedup" in data:
+        print(f"stream pipeline: {data['stream_speedup']:.2f}x speedup "
+              f"({data.get('stream_frames', '?')} frames, "
+              f"{data.get('stream_frames_per_s', 0.0):.1f} frames/s, "
+              f"micro-stutter "
+              f"{data.get('stream_micro_stutter', 0.0):.1f} cycles)")
     cache = data.get("cache")
     if cache:
         print(f"result cache: dir={cache.get('dir', '?')} "

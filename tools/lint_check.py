@@ -53,6 +53,12 @@ remediation recipe of each finding):
                 JsonWriter / writeMetricsJson in stats/report.hh) so every
                 harness emits one schema instead of hand-rolled prints.
 
+  trace-version No raw trace-format magic/version literals outside
+                src/trace/trace_io.cc — the on-disk constants (magic
+                0x43484f50, traceVersionFrame, traceVersionSequence) have
+                exactly one home so a format bump is a one-file change and
+                every loader/upgrader dispatches off the same values.
+
   raw-simd      No vendor SIMD intrinsics, vector types or intrinsic
                 headers outside src/util/simd.hh — the rasterizer's
                 determinism contract (DESIGN.md §14) holds because every
@@ -237,6 +243,11 @@ RAW_SIMD_RE = re.compile(
     r"\b(?:float|int|uint|poly)(?:8|16|32|64)x\d+_t\b|"
     r"#\s*include\s*<(?:[a-z]*mmintrin|immintrin|x86intrin|arm_neon|"
     r"arm_acle)\.h>")
+# The trace magic ("CHOP" as a little-endian u32) in any case, or a literal
+# (re)definition of the format constants that live in trace_io.cc.
+TRACE_VERSION_RE = re.compile(
+    r"0[xX]43484[fF]50\b|"
+    r"\btrace(?:Magic|Version\w*)\s*=\s*\d")
 
 
 def check_rng(code: str) -> Optional[str]:
@@ -334,6 +345,14 @@ def check_partition_mailbox(code: str) -> Optional[str]:
     return None
 
 
+def check_trace_version(code: str) -> Optional[str]:
+    if TRACE_VERSION_RE.search(code):
+        return ("raw trace magic/version literal outside trace_io.cc; the "
+                "on-disk format constants have exactly one home so a "
+                "version bump stays a one-file change")
+    return None
+
+
 def check_raw_simd(code: str) -> Optional[str]:
     if RAW_SIMD_RE.search(code):
         return ("vendor SIMD intrinsic/type/header outside util/simd.hh; "
@@ -426,6 +445,16 @@ RULES = [
          "with a justification",
          in_partition_layer,
          check_partition_mailbox),
+    Rule("trace-version",
+         "trace-format magic/version literals live only in "
+         "src/trace/trace_io.cc",
+         "reference the loaders/savers in trace/trace_io.hh instead of "
+         "restating the constants; code that must forge a header (e.g. a "
+         "corruption test) should patch the bytes of a saved file rather "
+         "than rebuild one from raw literals",
+         lambda rel: (in_src(rel) or rel.startswith("bench/")) and
+         rel != "src/trace/trace_io.cc",
+         check_trace_version),
     Rule("raw-simd",
          "vendor SIMD lives only in src/util/simd.hh",
          "express the operation through a Lanes policy (broadcast/add/mul/"
@@ -704,6 +733,18 @@ SELFTEST_CASES = [
     ("partition-mailbox", "src/sfr/epoch_compose.cc",
      "net.transfer(s, d, b, t, c); // chopin-lint: allow(partition-mailbox)",
      False),
+    ("trace-version", "src/core/sweep.cc",
+     "std::uint32_t magic = 0x43484f50;", True),
+    ("trace-version", "src/trace/sequence.cc",
+     "constexpr std::uint32_t traceVersionSequence = 4;", True),
+    ("trace-version", "src/trace/trace_io.cc",
+     "constexpr std::uint32_t traceMagic = 0x43484F50;",
+     False),  # the one sanctioned home
+    ("trace-version", "src/core/sweep.cc",
+     "std::uint32_t m = 0x43484f50; // chopin-lint: allow(trace-version)",
+     False),
+    ("trace-version", "src/trace/sequence.cc",
+     "fp.u64(traceVersionOf(seq));", False),  # reference, not a literal
     ("raw-simd", "src/gfx/raster.cc",
      "__m128 w = _mm_add_ps(a, b);", True),
     ("raw-simd", "src/gfx/raster.hh",

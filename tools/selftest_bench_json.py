@@ -9,13 +9,14 @@ gate, so this script proves both paths still reject bad inputs, using
 fixture dumps under tests/data/bench_json/:
 
   run_fast.json     healthy run: gmean speedup 3.47x, timing 2.91x,
-                    raster kernel 2.84x
+                    raster kernel 2.84x, stream pipeline 2.76x
   run_slow.json     same simulation results (hashes/cycles/tris identical
                     to run_fast) but no speedup anywhere: gmean 1.02x,
-                    timing 1.01x, raster 1.04x
+                    timing 1.01x, raster 1.04x, stream 1.02x
   run_badhash.json  run_fast with one frame_hash and one cycle count
                     corrupted — what a determinism regression looks like —
-                    and without the timing/raster series keys (an old dump)
+                    and without the timing/raster/stream series keys (an
+                    old dump)
 
 Registered as the `bench_json_selftest` ctest. Usage:
 
@@ -118,6 +119,24 @@ def main() -> int:
            runTool(root, badhash, "--series", "raster",
                    "--min-speedup", "1.5"),
            want_exit=1, want_in_output="missing key 'raster_speedup'")
+
+    # The stream series (frame-stream pipeline: 16-frame hybrid AFR+SFR
+    # sequence, frames simulated scenario-parallel) is the fourth
+    # independent gate: run_fast carries a healthy 2.76x pipeline, run_slow
+    # a 1.02x one (what a frame-parallelism regression looks like).
+    expect("stream series reported",
+           runTool(root, fast),
+           want_exit=0, want_in_output="stream pipeline: 2.76x")
+    expect("stream min-speedup accepts run_fast",
+           runTool(root, fast, "--series", "stream", "--min-speedup", "1.5"),
+           want_exit=0, want_in_output="OK: stream-pipeline speedup")
+    expect("stream min-speedup rejects run_slow",
+           runTool(root, slow, "--series", "stream", "--min-speedup", "1.5"),
+           want_exit=1, want_in_output="FAIL: stream-pipeline speedup")
+    expect("stream gate on old dump is a hard error",
+           runTool(root, badhash, "--series", "stream",
+                   "--min-speedup", "1.5"),
+           want_exit=1, want_in_output="missing key 'stream_speedup'")
 
     # Dumps that predate the timing series stay loadable (the keys are
     # optional), but gating on the absent series is a hard error.

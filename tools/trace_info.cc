@@ -2,7 +2,11 @@
  * @file
  * trace_info: inspect a saved trace — global statistics, per-state-change
  * breakdown, and the composition groups CHOPIN would form, with each
- * group's distribution decision at a given threshold.
+ * group's distribution decision at a given threshold. Accepts both the
+ * single-frame and the sequence format (single-frame files load as
+ * one-frame sequences through the upgrader); for an animated sequence it
+ * also prints the stream summary — camera path, coherence knobs and
+ * per-frame transform-override counts — before the base-frame breakdown.
  *
  *   trace_info frame.trace [--threshold=4096]
  */
@@ -23,9 +27,28 @@ main(int argc, char **argv)
     if (cli.positional().size() != 1)
         fatal("usage: trace_info <file.trace> [--threshold=N]");
 
-    FrameTrace trace;
-    if (!loadTrace(trace, cli.positional()[0]))
+    SequenceTrace seq;
+    if (!loadSequence(seq, cli.positional()[0]))
         fatal("cannot open '", cli.positional()[0], "'");
+    const FrameTrace &trace = seq.base;
+
+    if (seq.frameCount() > 1) {
+        std::size_t overrides = 0;
+        for (const FrameKey &key : seq.frames)
+            overrides += key.transforms.size();
+        std::cout << "sequence: " << seq.frameCount() << " frames, "
+                  << toString(seq.path) << " camera (step "
+                  << formatDouble(seq.knobs.camera_step, 3) << ", hold "
+                  << seq.knobs.camera_hold << "), object motion "
+                  << formatDouble(seq.knobs.object_motion, 3)
+                  << ", animated fraction "
+                  << formatDouble(seq.knobs.animated_frac, 2) << ", "
+                  << formatDouble(static_cast<double>(overrides) /
+                                      static_cast<double>(seq.frameCount()),
+                                  1)
+                  << " transform overrides/frame\n"
+                  << "base frame (frame 0 geometry) follows:\n\n";
+    }
 
     std::cout << "trace '" << trace.name << "' (" << trace.full_name
               << ")\n"
